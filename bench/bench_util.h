@@ -1,0 +1,126 @@
+// Shared load-generation and reporting helpers for the paper-reproduction
+// benches. Open-loop drivers measure response time (queueing included) at an
+// offered rate — the methodology behind the paper's throughput/latency
+// curves; closed-loop drivers measure peak throughput.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/blocking_queue.h"
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+
+namespace delos::bench {
+
+struct LoadResult {
+  double achieved_per_sec = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  std::shared_ptr<Histogram> latency = std::make_shared<Histogram>();  // response time, us
+};
+
+// Offers `rate_per_sec` ops for `duration_micros`; `workers` threads execute
+// them. Response time = completion - scheduled issue time, so overload shows
+// up as queueing delay (an open-loop load generator).
+inline LoadResult RunOpenLoop(double rate_per_sec, int64_t duration_micros, int workers,
+                              const std::function<void()>& op) {
+  LoadResult result;
+  BlockingQueue<int64_t> issue_queue;  // scheduled issue timestamps
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto issued_at = issue_queue.Pop();
+        if (!issued_at.has_value()) {
+          return;
+        }
+        try {
+          op();
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        result.latency->Record(RealClock::Instance()->NowMicros() - *issued_at);
+      }
+    });
+  }
+
+  const int64_t start = RealClock::Instance()->NowMicros();
+  const int64_t gap_micros = static_cast<int64_t>(1e6 / rate_per_sec);
+  int64_t next_issue = start;
+  while (true) {
+    const int64_t now = RealClock::Instance()->NowMicros();
+    if (now - start >= duration_micros) {
+      break;
+    }
+    if (now >= next_issue) {
+      issue_queue.Push(next_issue);
+      next_issue += gap_micros;
+    } else {
+      RealClock::Instance()->SleepMicros(std::min<int64_t>(next_issue - now, 200));
+    }
+  }
+  issue_queue.Close();
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const int64_t elapsed = RealClock::Instance()->NowMicros() - start;
+  result.completed = completed.load();
+  result.errors = errors.load();
+  result.achieved_per_sec = 1e6 * static_cast<double>(result.completed) /
+                            static_cast<double>(elapsed > 0 ? elapsed : 1);
+  return result;
+}
+
+// `threads` workers call op back-to-back for duration_micros.
+inline LoadResult RunClosedLoop(int threads, int64_t duration_micros,
+                                const std::function<void()>& op) {
+  LoadResult result;
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+  const int64_t start = RealClock::Instance()->NowMicros();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (RealClock::Instance()->NowMicros() - start < duration_micros) {
+        const int64_t op_start = RealClock::Instance()->NowMicros();
+        try {
+          op();
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        result.latency->Record(RealClock::Instance()->NowMicros() - op_start);
+      }
+    });
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  const int64_t elapsed = RealClock::Instance()->NowMicros() - start;
+  result.completed = completed.load();
+  result.errors = errors.load();
+  result.achieved_per_sec = 1e6 * static_cast<double>(result.completed) /
+                            static_cast<double>(elapsed > 0 ? elapsed : 1);
+  return result;
+}
+
+inline void PrintBanner(const std::string& title, const std::string& paper_claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace delos::bench

@@ -1,0 +1,83 @@
+// Figure 11 reproduction: the ObserverEngine-powered production dashboard —
+// per-layer propose p99 for a Zelos cluster.
+//
+// An ObserverEngine is layered above every engine (the production practice),
+// so each layer's propose latency is measured generically. The paper's two
+// observations to reproduce:
+//  * the BatchingEngine adds latency while accumulating a batch (its line
+//    sits above the others);
+//  * the SessionOrderEngine line sits BELOW the BaseEngine line, despite
+//    being above it in the stack — the short-circuit of §4.3 (its propose is
+//    completed from postApply, before the sub-stack's future resolves).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/zelos/zelos.h"
+#include "src/core/cluster.h"
+#include "src/engines/stacks.h"
+
+using namespace delos;
+using namespace delos::bench;
+
+int main() {
+  PrintBanner("Figure 11: per-engine propose p99 dashboard (ObserverEngine)",
+              "batching line on top (accumulation delay); sessionordering line below base "
+              "(short-circuit)");
+
+  InMemoryBackupStore backup;
+  std::map<std::string, std::unique_ptr<zelos::ZelosApplicator>> apps;
+  Cluster::Options options;
+  options.num_servers = 1;
+  Cluster cluster(options, [&](ClusterServer& server) {
+    StackConfig config = ZelosStackConfig(&backup);
+    config.backup_segment_size = 512;
+    config.observers = true;  // one ObserverEngine above every engine
+    config.batch_max_entries = 16;
+    config.batch_max_delay_micros = 1200;
+    BuildStack(server, config);
+    auto app = std::make_unique<zelos::ZelosApplicator>();
+    server.top()->RegisterUpcall(app.get());
+    apps[server.id()] = std::move(app);
+  });
+  zelos::ZelosClient client(cluster.server(0).top(), apps["server0"].get());
+  const zelos::SessionId session = client.CreateSession();
+  for (int i = 0; i < 32; ++i) {
+    client.Create(session, "/n" + std::to_string(i), "v");
+  }
+
+  const std::string value(100, 'd');
+  RunClosedLoop(8, 2'000'000, [&, n = std::make_shared<std::atomic<int64_t>>(0)] {
+    client.SetData("/n" + std::to_string(n->fetch_add(1) % 32), value);
+  });
+
+  MetricsRegistry* metrics = cluster.server(0).metrics();
+  // Stack order, top to bottom (the dashboard's legend).
+  const char* layers[] = {"batching", "sessionordering", "viewtracking",
+                          "braindoctor", "logbackup", "base"};
+  std::printf("%-18s %12s %12s %12s\n", "layer.propose", "p50(us)", "p99(us)", "count");
+  int64_t base_p99 = 0;
+  int64_t session_p99 = 0;
+  int64_t batching_p99 = 0;
+  for (const char* layer : layers) {
+    Histogram* hist = metrics->GetHistogram(std::string(layer) + ".propose.latency_us");
+    std::printf("%-18s %12lld %12lld %12llu\n", layer, (long long)hist->Percentile(50),
+                (long long)hist->Percentile(99), (unsigned long long)hist->count());
+    if (std::string(layer) == "base") {
+      base_p99 = hist->Percentile(99);
+    }
+    if (std::string(layer) == "sessionordering") {
+      session_p99 = hist->Percentile(99);
+    }
+    if (std::string(layer) == "batching") {
+      batching_p99 = hist->Percentile(99);
+    }
+  }
+  std::printf("\nRESULT: batching adds accumulation latency (batching p99 %lld us vs "
+              "sessionordering %lld us): %s\n",
+              (long long)batching_p99, (long long)session_p99,
+              batching_p99 > session_p99 ? "reproduced" : "NOT reproduced");
+  std::printf("RESULT: short-circuit anomaly (sessionordering %lld us below base %lld us): %s\n",
+              (long long)session_p99, (long long)base_p99,
+              session_p99 <= base_p99 ? "reproduced" : "NOT reproduced");
+  return 0;
+}

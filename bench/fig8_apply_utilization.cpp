@@ -1,0 +1,177 @@
+// Figure 8 reproduction: "Apply thread utilization across the fleet for a
+// single day ... max utilization rarely spikes higher than 60%. For any
+// given minute, 90% of the clusters are below 10% apply utilization."
+//
+// We synthesize a fleet of single-server clusters with a heavy-tailed
+// workload mix (most clusters read-dominated at low rates, a few hot
+// writers), and report per-window max / p99 / p90 apply-thread utilization
+// across the fleet — the paper's three series — plus the fraction of
+// (cluster, window) samples under 10%.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/delostable/table_db.h"
+#include "src/common/random.h"
+#include "src/core/cluster.h"
+#include "src/engines/stacks.h"
+
+using namespace delos;
+using namespace delos::bench;
+using namespace delos::table;
+
+namespace {
+
+constexpr int kClusters = 24;
+constexpr int kWindows = 12;
+constexpr int64_t kWindowMicros = 400'000;
+
+struct FleetCluster {
+  explicit FleetCluster(int index) {
+    Cluster::Options options;
+    options.num_servers = 1;
+    cluster = std::make_unique<Cluster>(options, [&](ClusterServer& server) {
+      BuildStack(server, DelosTableStackConfig(nullptr));
+      auto application = std::make_unique<TableApplicator>();
+      server.top()->RegisterUpcall(application.get());
+      app = std::move(application);
+    });
+    client = std::make_unique<TableClient>(cluster->server(0).top());
+    TableSchema schema;
+    schema.name = "t";
+    schema.columns = {{"k", ValueType::kInt64},
+                      {"v", ValueType::kString},
+                      {"tag", ValueType::kString}};
+    schema.primary_key = "k";
+    schema.secondary_indexes = {"tag"};
+    client->CreateTable(schema);
+    client->Upsert("t", {{"k", Value{int64_t{0}}}, {"v", Value{std::string(100, 'x')}}});
+
+    // Heavy-tailed load assignment: most clusters are quiet and
+    // read-dominated; a few are hot writers (the paper's max series).
+    Rng rng(7000 + index);
+    if (index < 2) {
+      write_rate = 0;  // hot: unthrottled closed-loop writers
+      read_rate = 500;
+    } else if (index < 6) {
+      write_rate = static_cast<int>(rng.Uniform(80, 200));
+      read_rate = static_cast<int>(rng.Uniform(200, 600));
+    } else {
+      write_rate = static_cast<int>(rng.Uniform(2, 25));
+      read_rate = static_cast<int>(rng.Uniform(50, 300));
+    }
+  }
+
+  std::unique_ptr<TableApplicator> app;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<TableClient> client;
+  int write_rate = 0;
+  int read_rate = 0;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  int64_t last_busy = 0;
+
+  void StartTraffic() {
+    // Hot clusters (write_rate == 0) run several unthrottled writers with
+    // large indexed rows; everyone else paces to its assigned rate.
+    const int writers = write_rate == 0 ? 3 : 1;
+    for (int w = 0; w < writers; ++w) {
+      threads.emplace_back([this, w] {
+        const std::string value(write_rate == 0 ? 1024 : 100, 'w');
+        int64_t key = w * 100000;
+        while (!stop.load()) {
+          const int64_t start = RealClock::Instance()->NowMicros();
+          client->Upsert("t", {{"k", Value{key++ % 512}},
+                               {"v", Value{value}},
+                               {"tag", Value{std::string("t") + std::to_string(key % 13)}}});
+          if (write_rate > 0) {
+            const int64_t gap = static_cast<int64_t>(1e6 / write_rate);
+            const int64_t spent = RealClock::Instance()->NowMicros() - start;
+            if (gap > spent) {
+              RealClock::Instance()->SleepMicros(gap - spent);
+            }
+          }
+        }
+      });
+    }
+    threads.emplace_back([this] {
+      while (!stop.load()) {
+        const int64_t start = RealClock::Instance()->NowMicros();
+        client->Get("t", Value{int64_t{0}});  // read-only: sync, not apply
+        const int64_t gap = static_cast<int64_t>(1e6 / read_rate);
+        const int64_t spent = RealClock::Instance()->NowMicros() - start;
+        if (gap > spent) {
+          RealClock::Instance()->SleepMicros(gap - spent);
+        }
+      }
+    });
+  }
+
+  double SampleUtilization() {
+    const int64_t busy = cluster->server(0).base()->apply_busy_micros();
+    const double utilization =
+        100.0 * static_cast<double>(busy - last_busy) / static_cast<double>(kWindowMicros);
+    last_busy = busy;
+    return std::min(utilization, 100.0);
+  }
+
+  void StopTraffic() {
+    stop = true;
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  PrintBanner(
+      "Figure 8: fleet-wide apply-thread utilization (max / p99 / p90 per window)",
+      "max rarely above 60%; 90% of clusters below 10% utilization in any given minute");
+
+  std::vector<std::unique_ptr<FleetCluster>> fleet;
+  for (int i = 0; i < kClusters; ++i) {
+    fleet.push_back(std::make_unique<FleetCluster>(i));
+  }
+  for (auto& member : fleet) {
+    member->StartTraffic();
+  }
+  RealClock::Instance()->SleepMicros(kWindowMicros);  // warm-up window
+  for (auto& member : fleet) {
+    member->SampleUtilization();
+  }
+
+  std::printf("%8s %10s %10s %10s\n", "window", "max%", "p99%", "p90%");
+  int under_10 = 0;
+  int samples = 0;
+  double global_max = 0;
+  for (int window = 0; window < kWindows; ++window) {
+    RealClock::Instance()->SleepMicros(kWindowMicros);
+    std::vector<double> utilizations;
+    utilizations.reserve(fleet.size());
+    for (auto& member : fleet) {
+      const double utilization = member->SampleUtilization();
+      utilizations.push_back(utilization);
+      under_10 += utilization < 10.0 ? 1 : 0;
+      ++samples;
+    }
+    std::sort(utilizations.begin(), utilizations.end());
+    const auto at = [&](double pct) {
+      return utilizations[std::min(utilizations.size() - 1,
+                                   static_cast<size_t>(pct / 100.0 * utilizations.size()))];
+    };
+    global_max = std::max(global_max, utilizations.back());
+    std::printf("%8d %10.1f %10.1f %10.1f\n", window, utilizations.back(), at(99), at(90));
+  }
+  for (auto& member : fleet) {
+    member->StopTraffic();
+  }
+  std::printf("\nRESULT: %.0f%% of (cluster,window) samples under 10%% utilization "
+              "(paper: ~90%%); fleet max %.1f%% (paper: rarely above 60%%)\n",
+              100.0 * under_10 / samples, global_max);
+  std::printf("The apply thread is not the bottleneck: reads bypass it entirely and hot\n"
+              "writers are bounded by the log's synchronous writes, not by apply.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared support for Delos applications (§3.1).
+//
+// An application splits into a Wrapper (the external API: serializes each
+// request and proposes it to the top engine; reads go through sync) and an
+// Applicator (executes requests inside the apply upcall). This header holds
+// the op-envelope convention all our applications share: payload =
+// varint op code + op-specific fields.
+#pragma once
+
+#include <any>
+#include <string>
+
+#include "src/common/serde.h"
+#include "src/core/engine.h"
+
+namespace delos {
+
+// Builds an application payload: op code + serialized arguments.
+class OpWriter {
+ public:
+  explicit OpWriter(uint64_t op_code) { ser_.WriteVarint(op_code); }
+  Serializer& args() { return ser_; }
+  LogEntry ToEntry() && {
+    LogEntry entry;
+    entry.payload = ser_.Release();
+    return entry;
+  }
+
+ private:
+  Serializer ser_;
+};
+
+// Reads an op envelope inside Apply.
+class OpReader {
+ public:
+  explicit OpReader(const std::string& payload) : de_(payload), op_code_(de_.ReadVarint()) {}
+  uint64_t op_code() const { return op_code_; }
+  Deserializer& args() { return de_; }
+
+ private:
+  Deserializer de_;
+  uint64_t op_code_;
+};
+
+// Helper mixin for Wrappers: propose an op and unwrap the typed result, or
+// obtain a linearizable snapshot for reads.
+class AppWrapperBase {
+ public:
+  explicit AppWrapperBase(IEngine* top) : top_(top) {}
+
+ protected:
+  // Blocking propose; rethrows deterministic application errors.
+  template <typename T>
+  T ProposeAndGet(LogEntry entry) {
+    std::any result = top_->Propose(std::move(entry)).Get();
+    return std::any_cast<T>(result);
+  }
+
+  // Linearizable read snapshot (§3.1: sync returns a ROTx reflecting all
+  // completed writes).
+  ROTxn SyncRead() { return top_->Sync().Get(); }
+
+  IEngine* top_engine() { return top_; }
+
+ private:
+  IEngine* top_;
+};
+
+}  // namespace delos

@@ -1,0 +1,153 @@
+#include "src/apps/delosq/delosq.h"
+
+#include <cstdio>
+
+namespace delos::delosq {
+
+namespace {
+
+struct QueueMeta {
+  uint64_t head = 0;  // next seq to pop
+  uint64_t tail = 0;  // next seq to push
+
+  std::string Encode() const {
+    Serializer ser;
+    ser.WriteVarint(head);
+    ser.WriteVarint(tail);
+    return ser.Release();
+  }
+  static QueueMeta Decode(std::string_view bytes) {
+    Deserializer de(bytes);
+    QueueMeta meta;
+    meta.head = de.ReadVarint();
+    meta.tail = de.ReadVarint();
+    return meta;
+  }
+};
+
+QueueMeta LoadMeta(RWTxn& txn, const std::string& queue) {
+  auto bytes = txn.Get(QueueApplicator::MetaKey(queue));
+  if (!bytes.has_value()) {
+    throw NoSuchQueueError(queue);
+  }
+  return QueueMeta::Decode(*bytes);
+}
+
+}  // namespace
+
+std::string QueueApplicator::MetaKey(const std::string& queue) { return "q/m/" + queue; }
+
+std::string QueueApplicator::ElementKey(const std::string& queue, uint64_t seq) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%020llu", static_cast<unsigned long long>(seq));
+  return "q/e/" + queue + "/" + buffer;
+}
+
+std::any QueueApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  if (entry.payload.empty()) {
+    return std::any(Unit{});
+  }
+  OpReader op(entry.payload);
+  switch (op.op_code()) {
+    case QueueClient::kCreateQueue: {
+      const std::string queue = op.args().ReadString();
+      if (txn.Get(MetaKey(queue)).has_value()) {
+        throw QueueExistsError(queue);
+      }
+      txn.Put(MetaKey(queue), QueueMeta{}.Encode());
+      return std::any(Unit{});
+    }
+    case QueueClient::kDropQueue: {
+      const std::string queue = op.args().ReadString();
+      const QueueMeta meta = LoadMeta(txn, queue);
+      for (uint64_t seq = meta.head; seq < meta.tail; ++seq) {
+        txn.Delete(ElementKey(queue, seq));
+      }
+      txn.Delete(MetaKey(queue));
+      return std::any(Unit{});
+    }
+    case QueueClient::kPush: {
+      const std::string queue = op.args().ReadString();
+      const std::string payload = op.args().ReadString();
+      QueueMeta meta = LoadMeta(txn, queue);
+      txn.Put(ElementKey(queue, meta.tail), payload);
+      const uint64_t seq = meta.tail;
+      meta.tail += 1;
+      txn.Put(MetaKey(queue), meta.Encode());
+      return std::any(seq);
+    }
+    case QueueClient::kPop: {
+      const std::string queue = op.args().ReadString();
+      QueueMeta meta = LoadMeta(txn, queue);
+      if (meta.head == meta.tail) {
+        return std::any(std::optional<std::string>{});
+      }
+      auto payload = txn.Get(ElementKey(queue, meta.head));
+      txn.Delete(ElementKey(queue, meta.head));
+      meta.head += 1;
+      txn.Put(MetaKey(queue), meta.Encode());
+      return std::any(std::optional<std::string>(std::move(payload)));
+    }
+    default:
+      throw QueueError("unknown op code " + std::to_string(op.op_code()));
+  }
+}
+
+void QueueClient::CreateQueue(const std::string& queue) {
+  OpWriter op(kCreateQueue);
+  op.args().WriteString(queue);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void QueueClient::DropQueue(const std::string& queue) {
+  OpWriter op(kDropQueue);
+  op.args().WriteString(queue);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+uint64_t QueueClient::Push(const std::string& queue, const std::string& payload) {
+  OpWriter op(kPush);
+  op.args().WriteString(queue);
+  op.args().WriteString(payload);
+  return ProposeAndGet<uint64_t>(std::move(op).ToEntry());
+}
+
+std::optional<std::string> QueueClient::Pop(const std::string& queue) {
+  OpWriter op(kPop);
+  op.args().WriteString(queue);
+  return ProposeAndGet<std::optional<std::string>>(std::move(op).ToEntry());
+}
+
+std::optional<std::string> QueueClient::Peek(const std::string& queue) {
+  ROTxn snapshot = SyncRead();
+  auto meta_bytes = snapshot.Get(QueueApplicator::MetaKey(queue));
+  if (!meta_bytes.has_value()) {
+    throw NoSuchQueueError(queue);
+  }
+  const QueueMeta meta = QueueMeta::Decode(*meta_bytes);
+  if (meta.head == meta.tail) {
+    return std::nullopt;
+  }
+  return snapshot.Get(QueueApplicator::ElementKey(queue, meta.head));
+}
+
+uint64_t QueueClient::Size(const std::string& queue) {
+  ROTxn snapshot = SyncRead();
+  auto meta_bytes = snapshot.Get(QueueApplicator::MetaKey(queue));
+  if (!meta_bytes.has_value()) {
+    throw NoSuchQueueError(queue);
+  }
+  const QueueMeta meta = QueueMeta::Decode(*meta_bytes);
+  return meta.tail - meta.head;
+}
+
+std::vector<std::string> QueueClient::ListQueues() {
+  ROTxn snapshot = SyncRead();
+  std::vector<std::string> queues;
+  for (const auto& [key, unused] : snapshot.ScanPrefix("q/m/")) {
+    queues.push_back(key.substr(4));
+  }
+  return queues;
+}
+
+}  // namespace delos::delosq

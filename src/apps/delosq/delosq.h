@@ -1,0 +1,61 @@
+// DelosQ: the replicated queue service mentioned in §6 (built by an intern
+// over a summer — a demonstration of how quickly new databases compose on
+// the Delos platform). Named FIFO queues with durable, linearizable
+// push/pop; peek and size are strongly consistent reads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_base.h"
+#include "src/core/engine.h"
+
+namespace delos::delosq {
+
+class QueueError : public DeterministicError {
+ public:
+  explicit QueueError(const std::string& what) : DeterministicError(what) {}
+};
+class NoSuchQueueError : public QueueError {
+ public:
+  explicit NoSuchQueueError(const std::string& q) : QueueError("no such queue: " + q) {}
+};
+class QueueExistsError : public QueueError {
+ public:
+  explicit QueueExistsError(const std::string& q) : QueueError("queue exists: " + q) {}
+};
+
+class QueueApplicator : public IApplicator {
+ public:
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override;
+
+  static std::string MetaKey(const std::string& queue);
+  static std::string ElementKey(const std::string& queue, uint64_t seq);
+};
+
+class QueueClient : public AppWrapperBase {
+ public:
+  explicit QueueClient(IEngine* top) : AppWrapperBase(top) {}
+
+  void CreateQueue(const std::string& queue);
+  void DropQueue(const std::string& queue);
+  // Returns the sequence number assigned to the element.
+  uint64_t Push(const std::string& queue, const std::string& payload);
+  // Pops the head; nullopt when empty.
+  std::optional<std::string> Pop(const std::string& queue);
+
+  // Reads.
+  std::optional<std::string> Peek(const std::string& queue);
+  uint64_t Size(const std::string& queue);
+  std::vector<std::string> ListQueues();
+
+  enum Op : uint64_t {
+    kCreateQueue = 1,
+    kDropQueue = 2,
+    kPush = 3,
+    kPop = 4,
+  };
+};
+
+}  // namespace delos::delosq

@@ -1,0 +1,143 @@
+#include "src/apps/delostable/query.h"
+
+#include <algorithm>
+
+namespace delos::table {
+
+namespace {
+
+// Missing columns compare as Null (variant index 0), which sorts below every
+// typed value — consistent with the ordered codec.
+Value ColumnOrNull(const Row& row, const std::string& column) {
+  auto it = row.find(column);
+  return it != row.end() ? it->second : Value{};
+}
+
+}  // namespace
+
+bool Predicate::Matches(const Row& row) const {
+  const Value actual = ColumnOrNull(row, column);
+  switch (op) {
+    case Op::kEq:
+      return actual == value;
+    case Op::kNe:
+      return actual != value;
+    case Op::kLt:
+      return actual < value;
+    case Op::kLe:
+      return actual <= value;
+    case Op::kGt:
+      return actual > value;
+    case Op::kGe:
+      return actual >= value;
+  }
+  return false;
+}
+
+QueryPlan QueryEngine::Plan(const Query& query) {
+  auto schema = client_->GetSchema(query.table);
+  if (!schema.has_value()) {
+    throw NoSuchTableError(query.table);
+  }
+  return PlanWithSchema(query, *schema);
+}
+
+QueryPlan QueryEngine::PlanWithSchema(const Query& query, const TableSchema& schema) {
+  for (const Predicate& predicate : query.predicates) {
+    if (!schema.ColumnType(predicate.column).has_value()) {
+      throw SchemaError("predicate on unknown column " + predicate.column);
+    }
+  }
+  QueryPlan plan;
+
+  // 1. Prefer an equality lookup through a secondary index.
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const Predicate& predicate = query.predicates[i];
+    const bool indexed =
+        std::find(schema.secondary_indexes.begin(), schema.secondary_indexes.end(),
+                  predicate.column) != schema.secondary_indexes.end();
+    if (predicate.op == Predicate::Op::kEq && indexed) {
+      plan.access = QueryPlan::Access::kIndexLookup;
+      plan.index_column = predicate.column;
+      for (size_t j = 0; j < query.predicates.size(); ++j) {
+        if (j != i) {
+          plan.residual.push_back(query.predicates[j]);
+        }
+      }
+      // The index guarantees equality; nothing residual for this predicate.
+      return plan;
+    }
+  }
+
+  // 2. Bound a primary-key range scan. The lower bound can be made
+  // inclusive exactly for kGe/kEq; kLt gives an exclusive upper bound.
+  // Everything stays in the residual for exactness (kGt's strictness, kLe's
+  // inclusivity).
+  bool bounded = false;
+  for (const Predicate& predicate : query.predicates) {
+    if (predicate.column != schema.primary_key) {
+      continue;
+    }
+    if (predicate.op == Predicate::Op::kEq || predicate.op == Predicate::Op::kGe ||
+        predicate.op == Predicate::Op::kGt) {
+      if (!plan.pk_lower.has_value() || *plan.pk_lower < predicate.value) {
+        plan.pk_lower = predicate.value;
+      }
+      bounded = true;
+    }
+    if (predicate.op == Predicate::Op::kLt) {
+      if (!plan.pk_upper.has_value() || predicate.value < *plan.pk_upper) {
+        plan.pk_upper = predicate.value;
+      }
+      bounded = true;
+    }
+  }
+  plan.access = bounded ? QueryPlan::Access::kPkRange : QueryPlan::Access::kFullScan;
+  plan.residual = query.predicates;
+  return plan;
+}
+
+std::vector<Row> QueryEngine::Select(const Query& query) {
+  const QueryPlan plan = Plan(query);
+  std::vector<Row> candidates;
+  switch (plan.access) {
+    case QueryPlan::Access::kIndexLookup: {
+      Value key;
+      for (const Predicate& predicate : query.predicates) {
+        if (predicate.column == plan.index_column && predicate.op == Predicate::Op::kEq) {
+          key = predicate.value;
+          break;
+        }
+      }
+      candidates = client_->IndexLookup(query.table, plan.index_column, key);
+      break;
+    }
+    case QueryPlan::Access::kPkRange:
+      candidates = client_->Scan(query.table, plan.pk_lower, plan.pk_upper);
+      break;
+    case QueryPlan::Access::kFullScan:
+      candidates = client_->Scan(query.table, std::nullopt, std::nullopt);
+      break;
+  }
+  std::vector<Row> results;
+  for (Row& row : candidates) {
+    bool matches = true;
+    for (const Predicate& predicate : plan.residual) {
+      if (!predicate.Matches(row)) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) {
+      results.push_back(std::move(row));
+      if (results.size() >= query.limit) {
+        break;
+      }
+    }
+  }
+  return results;
+}
+
+size_t QueryEngine::Count(const Query& query) { return Select(query).size(); }
+
+}  // namespace delos::table

@@ -1,0 +1,69 @@
+// A small declarative query layer for DelosTable — the "complex relational
+// query" surface the paper attributes to production DelosTable traffic
+// (§5, "each of which can be a complex relational query").
+//
+// Queries are conjunctions of predicates with an optional limit. A tiny
+// planner picks the access path:
+//  1. equality predicate on an indexed column  -> secondary-index lookup,
+//  2. predicates on the primary key            -> bounded pk range scan,
+//  3. otherwise                                -> full scan,
+// with remaining predicates applied as residual filters. Reads run against a
+// single sync snapshot, so a query is internally consistent and
+// linearizable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/delostable/table_db.h"
+
+namespace delos::table {
+
+struct Predicate {
+  enum class Op { kEq, kLt, kLe, kGt, kGe, kNe };
+  std::string column;
+  Op op = Op::kEq;
+  Value value;
+
+  bool Matches(const Row& row) const;
+};
+
+struct Query {
+  std::string table;
+  std::vector<Predicate> predicates;  // conjunction (AND)
+  size_t limit = SIZE_MAX;
+};
+
+// The chosen access path, exposed for tests and EXPLAIN-style debugging.
+struct QueryPlan {
+  enum class Access { kIndexLookup, kPkRange, kFullScan };
+  Access access = Access::kFullScan;
+  std::string index_column;            // for kIndexLookup
+  std::optional<Value> pk_lower;       // for kPkRange (inclusive)
+  std::optional<Value> pk_upper;       // for kPkRange (exclusive)
+  std::vector<Predicate> residual;     // applied after the access path
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(TableClient* client) : client_(client) {}
+
+  // Plans without executing (EXPLAIN).
+  QueryPlan Plan(const Query& query);
+
+  // Executes: plans, fetches via the chosen access path, applies residual
+  // filters. Throws NoSuchTableError for unknown tables and SchemaError for
+  // predicates on unknown columns.
+  std::vector<Row> Select(const Query& query);
+
+  // Convenience aggregate.
+  size_t Count(const Query& query);
+
+ private:
+  QueryPlan PlanWithSchema(const Query& query, const TableSchema& schema);
+
+  TableClient* client_;
+};
+
+}  // namespace delos::table

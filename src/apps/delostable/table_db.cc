@@ -1,0 +1,446 @@
+#include "src/apps/delostable/table_db.h"
+
+namespace delos::table {
+
+// --- Schema / row serialization ---
+
+void TableSchema::Write(Serializer& ser) const {
+  ser.WriteString(name);
+  ser.WriteVarint(columns.size());
+  for (const ColumnSpec& column : columns) {
+    ser.WriteString(column.name);
+    ser.WriteVarint(static_cast<uint64_t>(column.type));
+  }
+  ser.WriteString(primary_key);
+  ser.WriteVarint(secondary_indexes.size());
+  for (const std::string& index : secondary_indexes) {
+    ser.WriteString(index);
+  }
+}
+
+TableSchema TableSchema::Read(Deserializer& de) {
+  TableSchema schema;
+  schema.name = de.ReadString();
+  const uint64_t num_columns = de.ReadVarint();
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    ColumnSpec column;
+    column.name = de.ReadString();
+    column.type = static_cast<ValueType>(de.ReadVarint());
+    schema.columns.push_back(std::move(column));
+  }
+  schema.primary_key = de.ReadString();
+  const uint64_t num_indexes = de.ReadVarint();
+  for (uint64_t i = 0; i < num_indexes; ++i) {
+    schema.secondary_indexes.push_back(de.ReadString());
+  }
+  return schema;
+}
+
+std::optional<ValueType> TableSchema::ColumnType(const std::string& column) const {
+  for (const ColumnSpec& spec : columns) {
+    if (spec.name == column) {
+      return spec.type;
+    }
+  }
+  return std::nullopt;
+}
+
+void WriteRow(Serializer& ser, const Row& row) {
+  ser.WriteVarint(row.size());
+  for (const auto& [column, value] : row) {
+    ser.WriteString(column);
+    WriteValue(ser, value);
+  }
+}
+
+Row ReadRow(Deserializer& de) {
+  Row row;
+  const uint64_t count = de.ReadVarint();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string column = de.ReadString();
+    row.emplace(std::move(column), ReadValue(de));
+  }
+  return row;
+}
+
+// --- Key layout ---
+
+std::string TableApplicator::MetaKey(const std::string& table) { return "t/meta/" + table; }
+
+std::string TableApplicator::RowPrefix(const std::string& table) { return "t/" + table + "/r/"; }
+
+std::string TableApplicator::RowKey(const std::string& table, const Value& pk) {
+  std::string key = RowPrefix(table);
+  EncodeOrdered(pk, &key);
+  return key;
+}
+
+std::string TableApplicator::IndexPrefix(const std::string& table, const std::string& column,
+                                         const Value& value) {
+  std::string key = "t/" + table + "/i/" + column + "/";
+  EncodeOrdered(value, &key);
+  return key;
+}
+
+std::string TableApplicator::IndexKey(const std::string& table, const std::string& column,
+                                      const Value& value, const Value& pk) {
+  std::string key = IndexPrefix(table, column, value);
+  EncodeOrdered(pk, &key);
+  return key;
+}
+
+// --- Applicator internals ---
+
+TableSchema TableApplicator::LoadSchema(RWTxn& txn, const std::string& table) {
+  auto bytes = txn.Get(MetaKey(table));
+  if (!bytes.has_value()) {
+    throw NoSuchTableError(table);
+  }
+  Deserializer de(*bytes);
+  return TableSchema::Read(de);
+}
+
+void TableApplicator::ValidateRow(const TableSchema& schema, const Row& row, bool require_all) {
+  for (const auto& [column, value] : row) {
+    auto type = schema.ColumnType(column);
+    if (!type.has_value()) {
+      throw SchemaError("unknown column " + column);
+    }
+    if (TypeOf(value) != *type && TypeOf(value) != ValueType::kNull) {
+      throw SchemaError("column " + column + " expects " + TypeName(*type) + ", got " +
+                        TypeName(TypeOf(value)));
+    }
+  }
+  if (require_all && row.count(schema.primary_key) == 0) {
+    throw SchemaError("missing primary key column " + schema.primary_key);
+  }
+}
+
+void TableApplicator::PutIndexEntries(RWTxn& txn, const TableSchema& schema, const Row& row) {
+  const Value& pk = row.at(schema.primary_key);
+  for (const std::string& column : schema.secondary_indexes) {
+    auto it = row.find(column);
+    if (it != row.end() && TypeOf(it->second) != ValueType::kNull) {
+      txn.Put(IndexKey(schema.name, column, it->second, pk), "");
+    }
+  }
+}
+
+void TableApplicator::DeleteIndexEntries(RWTxn& txn, const TableSchema& schema, const Row& row) {
+  const Value& pk = row.at(schema.primary_key);
+  for (const std::string& column : schema.secondary_indexes) {
+    auto it = row.find(column);
+    if (it != row.end() && TypeOf(it->second) != ValueType::kNull) {
+      txn.Delete(IndexKey(schema.name, column, it->second, pk));
+    }
+  }
+}
+
+void TableApplicator::InsertOrUpsertRow(RWTxn& txn, const std::string& table, const Row& row,
+                                        bool upsert) {
+  const TableSchema schema = LoadSchema(txn, table);
+  ValidateRow(schema, row, /*require_all=*/true);
+  const Value& pk = row.at(schema.primary_key);
+  const std::string row_key = RowKey(table, pk);
+
+  auto existing = txn.Get(row_key);
+  if (existing.has_value()) {
+    if (!upsert) {
+      throw DuplicateKeyError();
+    }
+    Deserializer de(*existing);
+    DeleteIndexEntries(txn, schema, ReadRow(de));
+  }
+  Serializer ser;
+  WriteRow(ser, row);
+  txn.Put(row_key, ser.Release());
+  PutIndexEntries(txn, schema, row);
+}
+
+void TableApplicator::UpdateRow(RWTxn& txn, const std::string& table, const Value& pk,
+                                const Row& changes) {
+  const TableSchema schema = LoadSchema(txn, table);
+  ValidateRow(schema, changes, /*require_all=*/false);
+  const std::string row_key = RowKey(table, pk);
+  auto existing = txn.Get(row_key);
+  if (!existing.has_value()) {
+    throw RowNotFoundError();
+  }
+  Deserializer de(*existing);
+  Row row = ReadRow(de);
+  DeleteIndexEntries(txn, schema, row);
+  for (const auto& [column, value] : changes) {
+    if (column == schema.primary_key) {
+      throw SchemaError("cannot update the primary key");
+    }
+    row[column] = value;
+  }
+  Serializer ser;
+  WriteRow(ser, row);
+  txn.Put(row_key, ser.Release());
+  PutIndexEntries(txn, schema, row);
+}
+
+void TableApplicator::DeleteRow(RWTxn& txn, const std::string& table, const Value& pk) {
+  const TableSchema schema = LoadSchema(txn, table);
+  const std::string row_key = RowKey(table, pk);
+  auto existing = txn.Get(row_key);
+  if (!existing.has_value()) {
+    throw RowNotFoundError();
+  }
+  Deserializer de(*existing);
+  DeleteIndexEntries(txn, schema, ReadRow(de));
+  txn.Delete(row_key);
+}
+
+std::any TableApplicator::WriteRowOp(RWTxn& txn, OpReader& op, bool upsert) {
+  const std::string table = op.args().ReadString();
+  const Row row = ReadRow(op.args());
+  InsertOrUpsertRow(txn, table, row, upsert);
+  return std::any(Unit{});
+}
+
+std::any TableApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  if (entry.payload.empty()) {
+    return std::any(Unit{});  // Engine-internal entry that reached the top.
+  }
+  OpReader op(entry.payload);
+  switch (op.op_code()) {
+    case TableClient::kCreateTable: {
+      const TableSchema schema = TableSchema::Read(op.args());
+      if (txn.Get(MetaKey(schema.name)).has_value()) {
+        throw DuplicateTableError(schema.name);
+      }
+      if (!schema.ColumnType(schema.primary_key).has_value()) {
+        throw SchemaError("primary key " + schema.primary_key + " is not a column");
+      }
+      for (const std::string& index : schema.secondary_indexes) {
+        if (!schema.ColumnType(index).has_value()) {
+          throw SchemaError("index column " + index + " is not a column");
+        }
+      }
+      Serializer ser;
+      schema.Write(ser);
+      txn.Put(MetaKey(schema.name), ser.Release());
+      return std::any(Unit{});
+    }
+    case TableClient::kDropTable: {
+      const std::string table = op.args().ReadString();
+      LoadSchema(txn, table);  // throws if absent
+      txn.Delete(MetaKey(table));
+      // Drop rows and index entries.
+      std::vector<std::string> keys;
+      txn.Scan("t/" + table + "/", "t/" + table + "0",
+               [&](std::string_view key, std::string_view) {
+                 keys.emplace_back(key);
+                 return true;
+               });
+      for (const std::string& key : keys) {
+        txn.Delete(key);
+      }
+      return std::any(Unit{});
+    }
+    case TableClient::kInsert:
+      return WriteRowOp(txn, op, /*upsert=*/false);
+    case TableClient::kUpsert:
+      return WriteRowOp(txn, op, /*upsert=*/true);
+    case TableClient::kUpdate:
+    case TableClient::kConditionalUpdate: {
+      const bool conditional = op.op_code() == TableClient::kConditionalUpdate;
+      const std::string table = op.args().ReadString();
+      size_t offset = 0;
+      const std::string pk_bytes = op.args().ReadString();
+      const Value pk = DecodeOrdered(pk_bytes, &offset);
+      std::string cond_column;
+      Value expected;
+      if (conditional) {
+        cond_column = op.args().ReadString();
+        expected = ReadValue(op.args());
+      }
+      const Row changes = ReadRow(op.args());
+      if (conditional) {
+        const std::string row_key = RowKey(table, pk);
+        auto existing = txn.Get(row_key);
+        if (!existing.has_value()) {
+          throw RowNotFoundError();
+        }
+        Deserializer de(*existing);
+        Row row = ReadRow(de);
+        auto it = row.find(cond_column);
+        const Value current = (it != row.end()) ? it->second : Value{};
+        if (current != expected) {
+          throw ConditionFailedError();
+        }
+      }
+      UpdateRow(txn, table, pk, changes);
+      return std::any(Unit{});
+    }
+    case TableClient::kDelete: {
+      const std::string table = op.args().ReadString();
+      size_t offset = 0;
+      const std::string pk_bytes = op.args().ReadString();
+      const Value pk = DecodeOrdered(pk_bytes, &offset);
+      DeleteRow(txn, table, pk);
+      return std::any(Unit{});
+    }
+    case TableClient::kWriteBatch: {
+      // Atomic multi-row transaction: any throw unwinds to the engine below,
+      // rolling back every op in the batch.
+      const uint64_t count = op.args().ReadVarint();
+      for (uint64_t i = 0; i < count; ++i) {
+        const auto kind = static_cast<TableClient::BatchOp::Kind>(op.args().ReadVarint());
+        const std::string table = op.args().ReadString();
+        size_t offset = 0;
+        const std::string pk_bytes = op.args().ReadString();
+        const Row row = ReadRow(op.args());
+        switch (kind) {
+          case TableClient::BatchOp::Kind::kInsert:
+            InsertOrUpsertRow(txn, table, row, /*upsert=*/false);
+            break;
+          case TableClient::BatchOp::Kind::kUpsert:
+            InsertOrUpsertRow(txn, table, row, /*upsert=*/true);
+            break;
+          case TableClient::BatchOp::Kind::kUpdate:
+            UpdateRow(txn, table, DecodeOrdered(pk_bytes, &offset), row);
+            break;
+          case TableClient::BatchOp::Kind::kDelete:
+            DeleteRow(txn, table, DecodeOrdered(pk_bytes, &offset));
+            break;
+        }
+      }
+      return std::any(count);
+    }
+    default:
+      throw TableError("unknown op code " + std::to_string(op.op_code()));
+  }
+}
+
+// --- Wrapper ---
+
+void TableClient::CreateTable(const TableSchema& schema) {
+  OpWriter op(kCreateTable);
+  schema.Write(op.args());
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void TableClient::DropTable(const std::string& table) {
+  OpWriter op(kDropTable);
+  op.args().WriteString(table);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void TableClient::Insert(const std::string& table, const Row& row) {
+  OpWriter op(kInsert);
+  op.args().WriteString(table);
+  WriteRow(op.args(), row);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void TableClient::Upsert(const std::string& table, const Row& row) {
+  OpWriter op(kUpsert);
+  op.args().WriteString(table);
+  WriteRow(op.args(), row);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void TableClient::Update(const std::string& table, const Value& pk, const Row& changes) {
+  OpWriter op(kUpdate);
+  op.args().WriteString(table);
+  op.args().WriteString(EncodeOrdered(pk));
+  WriteRow(op.args(), changes);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void TableClient::ConditionalUpdate(const std::string& table, const Value& pk,
+                                    const std::string& cond_column, const Value& expected,
+                                    const Row& changes) {
+  OpWriter op(kConditionalUpdate);
+  op.args().WriteString(table);
+  op.args().WriteString(EncodeOrdered(pk));
+  op.args().WriteString(cond_column);
+  WriteValue(op.args(), expected);
+  WriteRow(op.args(), changes);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+void TableClient::ApplyBatch(const std::vector<BatchOp>& ops) {
+  OpWriter op(kWriteBatch);
+  op.args().WriteVarint(ops.size());
+  for (const BatchOp& batch_op : ops) {
+    op.args().WriteVarint(static_cast<uint64_t>(batch_op.kind));
+    op.args().WriteString(batch_op.table);
+    op.args().WriteString(EncodeOrdered(batch_op.pk));
+    WriteRow(op.args(), batch_op.row);
+  }
+  ProposeAndGet<uint64_t>(std::move(op).ToEntry());
+}
+
+void TableClient::Delete(const std::string& table, const Value& pk) {
+  OpWriter op(kDelete);
+  op.args().WriteString(table);
+  op.args().WriteString(EncodeOrdered(pk));
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+std::optional<Row> TableClient::Get(const std::string& table, const Value& pk) {
+  ROTxn snapshot = SyncRead();
+  auto bytes = snapshot.Get(TableApplicator::RowKey(table, pk));
+  if (!bytes.has_value()) {
+    return std::nullopt;
+  }
+  Deserializer de(*bytes);
+  return ReadRow(de);
+}
+
+std::vector<Row> TableClient::Scan(const std::string& table, const std::optional<Value>& from,
+                                   const std::optional<Value>& to, size_t limit) {
+  ROTxn snapshot = SyncRead();
+  const std::string prefix = TableApplicator::RowPrefix(table);
+  std::string start = prefix;
+  if (from.has_value()) {
+    EncodeOrdered(*from, &start);
+  }
+  std::string end;
+  if (to.has_value()) {
+    end = prefix;
+    EncodeOrdered(*to, &end);
+  } else {
+    end = "t/" + table + "/r0";  // '0' > '/': one past the row prefix
+  }
+  std::vector<Row> rows;
+  snapshot.Scan(start, end, [&](std::string_view key, std::string_view value) {
+    Deserializer de(value);
+    rows.push_back(ReadRow(de));
+    return rows.size() < limit;
+  });
+  return rows;
+}
+
+std::vector<Row> TableClient::IndexLookup(const std::string& table, const std::string& column,
+                                          const Value& value, size_t limit) {
+  ROTxn snapshot = SyncRead();
+  const std::string prefix = TableApplicator::IndexPrefix(table, column, value);
+  std::vector<Row> rows;
+  for (const auto& [index_key, unused] : snapshot.ScanPrefix(prefix, limit)) {
+    size_t offset = prefix.size();
+    const Value pk = DecodeOrdered(index_key, &offset);
+    auto bytes = snapshot.Get(TableApplicator::RowKey(table, pk));
+    if (bytes.has_value()) {
+      Deserializer de(*bytes);
+      rows.push_back(ReadRow(de));
+    }
+  }
+  return rows;
+}
+
+std::optional<TableSchema> TableClient::GetSchema(const std::string& table) {
+  ROTxn snapshot = SyncRead();
+  auto bytes = snapshot.Get(TableApplicator::MetaKey(table));
+  if (!bytes.has_value()) {
+    return std::nullopt;
+  }
+  Deserializer de(*bytes);
+  return TableSchema::Read(de);
+}
+
+}  // namespace delos::table

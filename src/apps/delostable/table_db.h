@@ -1,0 +1,160 @@
+// DelosTable: the first Delos production database (§4.1) — a replicated
+// relational table store with typed columns, primary keys, secondary
+// indexes, conditional updates, and range scans.
+//
+// Split per §3.1 into a Wrapper (TableClient: serializes requests, proposes
+// write ops to the top engine, serves reads from sync snapshots) and an
+// Applicator (TableApplicator: executes ops deterministically inside the
+// apply upcall, maintaining rows and secondary indexes in the LocalStore).
+// Deterministic errors (row_not_found, duplicate key, condition failed) are
+// thrown from apply and relayed to the caller, exercising the exception
+// semantics of §3.4.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_base.h"
+#include "src/apps/delostable/value.h"
+#include "src/core/engine.h"
+
+namespace delos::table {
+
+// --- Deterministic application errors ---
+
+class TableError : public DeterministicError {
+ public:
+  explicit TableError(const std::string& what) : DeterministicError(what) {}
+};
+class NoSuchTableError : public TableError {
+ public:
+  explicit NoSuchTableError(const std::string& t) : TableError("no such table: " + t) {}
+};
+class DuplicateTableError : public TableError {
+ public:
+  explicit DuplicateTableError(const std::string& t) : TableError("table exists: " + t) {}
+};
+class RowNotFoundError : public TableError {
+ public:
+  explicit RowNotFoundError() : TableError("row_not_found") {}
+};
+class DuplicateKeyError : public TableError {
+ public:
+  explicit DuplicateKeyError() : TableError("duplicate primary key") {}
+};
+class SchemaError : public TableError {
+ public:
+  explicit SchemaError(const std::string& what) : TableError("schema error: " + what) {}
+};
+class ConditionFailedError : public TableError {
+ public:
+  explicit ConditionFailedError() : TableError("conditional update failed") {}
+};
+
+// --- Schema ---
+
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+  std::string primary_key;                  // must name one of the columns
+  std::vector<std::string> secondary_indexes;  // column names
+
+  void Write(Serializer& ser) const;
+  static TableSchema Read(Deserializer& de);
+  std::optional<ValueType> ColumnType(const std::string& column) const;
+};
+
+// A row: column name -> value.
+using Row = std::map<std::string, Value>;
+
+void WriteRow(Serializer& ser, const Row& row);
+Row ReadRow(Deserializer& de);
+
+// --- Applicator ---
+
+class TableApplicator : public IApplicator {
+ public:
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override;
+
+  // Key layout helpers (shared with the read path in TableClient).
+  static std::string MetaKey(const std::string& table);
+  static std::string RowKey(const std::string& table, const Value& pk);
+  static std::string RowPrefix(const std::string& table);
+  static std::string IndexKey(const std::string& table, const std::string& column,
+                              const Value& value, const Value& pk);
+  static std::string IndexPrefix(const std::string& table, const std::string& column,
+                                 const Value& value);
+
+ private:
+  TableSchema LoadSchema(RWTxn& txn, const std::string& table);
+  void InsertOrUpsertRow(RWTxn& txn, const std::string& table, const Row& row, bool upsert);
+  void UpdateRow(RWTxn& txn, const std::string& table, const Value& pk, const Row& changes);
+  void DeleteRow(RWTxn& txn, const std::string& table, const Value& pk);
+  void ValidateRow(const TableSchema& schema, const Row& row, bool require_all);
+  void PutIndexEntries(RWTxn& txn, const TableSchema& schema, const Row& row);
+  void DeleteIndexEntries(RWTxn& txn, const TableSchema& schema, const Row& row);
+  std::any WriteRowOp(RWTxn& txn, OpReader& op, bool upsert);
+};
+
+// --- Wrapper ---
+
+class TableClient : public AppWrapperBase {
+ public:
+  explicit TableClient(IEngine* top) : AppWrapperBase(top) {}
+
+  // DDL / writes (linearizable, replicated RPC through the log).
+  void CreateTable(const TableSchema& schema);
+  void DropTable(const std::string& table);
+  void Insert(const std::string& table, const Row& row);
+  void Upsert(const std::string& table, const Row& row);
+  // Partial update of an existing row; throws RowNotFoundError.
+  void Update(const std::string& table, const Value& pk, const Row& changes);
+  void Delete(const std::string& table, const Value& pk);
+  // Applies `changes` iff column `cond_column` currently equals `expected`.
+  void ConditionalUpdate(const std::string& table, const Value& pk,
+                         const std::string& cond_column, const Value& expected,
+                         const Row& changes);
+
+  // Atomic multi-row transaction: all ops apply in one log entry inside one
+  // LocalStore transaction; if any op throws (row_not_found, duplicate key,
+  // condition failed, ...), the whole batch rolls back (§3.4 failure
+  // atomicity). Ops may span tables.
+  struct BatchOp {
+    enum class Kind { kInsert, kUpsert, kUpdate, kDelete } kind;
+    std::string table;
+    Row row;        // kInsert/kUpsert: full row; kUpdate: changes
+    Value pk;       // kUpdate/kDelete
+  };
+  void ApplyBatch(const std::vector<BatchOp>& ops);
+
+  // Reads (strongly consistent via sync; no proposal).
+  std::optional<Row> Get(const std::string& table, const Value& pk);
+  // Rows with pk in [from, to); unbounded when nullopt. Ordered by pk.
+  std::vector<Row> Scan(const std::string& table, const std::optional<Value>& from,
+                        const std::optional<Value>& to, size_t limit = SIZE_MAX);
+  // Equality lookup through a secondary index.
+  std::vector<Row> IndexLookup(const std::string& table, const std::string& column,
+                               const Value& value, size_t limit = SIZE_MAX);
+  std::optional<TableSchema> GetSchema(const std::string& table);
+
+  // Op codes (shared with the applicator).
+  enum Op : uint64_t {
+    kCreateTable = 1,
+    kDropTable = 2,
+    kInsert = 3,
+    kUpsert = 4,
+    kUpdate = 5,
+    kDelete = 6,
+    kConditionalUpdate = 7,
+    kWriteBatch = 8,
+  };
+};
+
+}  // namespace delos::table

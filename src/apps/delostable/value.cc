@@ -1,0 +1,206 @@
+#include "src/apps/delostable/value.h"
+
+#include <cstring>
+
+namespace delos::table {
+
+namespace {
+
+void AppendBigEndian64(uint64_t bits, std::string* out) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadBigEndian64(std::string_view in, size_t* offset) {
+  if (*offset + 8 > in.size()) {
+    throw SerdeError("truncated ordered value");
+  }
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits = (bits << 8) | static_cast<unsigned char>(in[*offset + i]);
+  }
+  *offset += 8;
+  return bits;
+}
+
+}  // namespace
+
+ValueType TypeOf(const Value& value) {
+  return static_cast<ValueType>(value.index());
+}
+
+const char* TypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+void EncodeOrdered(const Value& value, std::string* out) {
+  out->push_back(static_cast<char>(TypeOf(value)));
+  switch (TypeOf(value)) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->push_back(std::get<bool>(value) ? 1 : 0);
+      break;
+    case ValueType::kInt64: {
+      // Flipping the sign bit maps the signed order onto the unsigned order.
+      const uint64_t bits = static_cast<uint64_t>(std::get<int64_t>(value)) ^ (1ULL << 63);
+      AppendBigEndian64(bits, out);
+      break;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      const double d = std::get<double>(value);
+      std::memcpy(&bits, &d, sizeof(bits));
+      // Positive doubles: flip sign bit. Negative doubles: flip everything
+      // (their magnitude order is reversed).
+      if ((bits >> 63) == 0) {
+        bits ^= 1ULL << 63;
+      } else {
+        bits = ~bits;
+      }
+      AppendBigEndian64(bits, out);
+      break;
+    }
+    case ValueType::kString: {
+      for (const char c : std::get<std::string>(value)) {
+        if (c == '\0') {
+          out->push_back('\0');
+          out->push_back('\xff');
+        } else {
+          out->push_back(c);
+        }
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      break;
+    }
+  }
+}
+
+std::string EncodeOrdered(const Value& value) {
+  std::string out;
+  EncodeOrdered(value, &out);
+  return out;
+}
+
+Value DecodeOrdered(std::string_view in, size_t* offset) {
+  if (*offset >= in.size()) {
+    throw SerdeError("truncated ordered value tag");
+  }
+  const auto type = static_cast<ValueType>(in[(*offset)++]);
+  switch (type) {
+    case ValueType::kNull:
+      return Value{};
+    case ValueType::kBool: {
+      if (*offset >= in.size()) {
+        throw SerdeError("truncated ordered bool");
+      }
+      return Value{in[(*offset)++] != 0};
+    }
+    case ValueType::kInt64: {
+      const uint64_t bits = ReadBigEndian64(in, offset) ^ (1ULL << 63);
+      return Value{static_cast<int64_t>(bits)};
+    }
+    case ValueType::kDouble: {
+      uint64_t bits = ReadBigEndian64(in, offset);
+      if ((bits >> 63) != 0) {
+        bits ^= 1ULL << 63;
+      } else {
+        bits = ~bits;
+      }
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value{d};
+    }
+    case ValueType::kString: {
+      std::string s;
+      while (true) {
+        if (*offset >= in.size()) {
+          throw SerdeError("unterminated ordered string");
+        }
+        const char c = in[(*offset)++];
+        if (c != '\0') {
+          s.push_back(c);
+          continue;
+        }
+        if (*offset >= in.size()) {
+          throw SerdeError("truncated ordered string escape");
+        }
+        const char next = in[(*offset)++];
+        if (next == '\0') {
+          return Value{std::move(s)};
+        }
+        s.push_back('\0');
+      }
+    }
+  }
+  throw SerdeError("unknown ordered value tag");
+}
+
+void WriteValue(Serializer& ser, const Value& value) {
+  ser.WriteVarint(static_cast<uint64_t>(TypeOf(value)));
+  switch (TypeOf(value)) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      ser.WriteBool(std::get<bool>(value));
+      break;
+    case ValueType::kInt64:
+      ser.WriteSigned(std::get<int64_t>(value));
+      break;
+    case ValueType::kDouble:
+      ser.WriteDouble(std::get<double>(value));
+      break;
+    case ValueType::kString:
+      ser.WriteString(std::get<std::string>(value));
+      break;
+  }
+}
+
+Value ReadValue(Deserializer& de) {
+  const auto type = static_cast<ValueType>(de.ReadVarint());
+  switch (type) {
+    case ValueType::kNull:
+      return Value{};
+    case ValueType::kBool:
+      return Value{de.ReadBool()};
+    case ValueType::kInt64:
+      return Value{de.ReadSigned()};
+    case ValueType::kDouble:
+      return Value{de.ReadDouble()};
+    case ValueType::kString:
+      return Value{de.ReadString()};
+  }
+  throw SerdeError("unknown value type");
+}
+
+std::string ToString(const Value& value) {
+  switch (TypeOf(value)) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return std::get<bool>(value) ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(value));
+    case ValueType::kDouble:
+      return std::to_string(std::get<double>(value));
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(value) + "\"";
+  }
+  return "?";
+}
+
+}  // namespace delos::table

@@ -1,0 +1,48 @@
+// Typed values and order-preserving key encoding for DelosTable.
+//
+// Primary keys and secondary-index keys are stored in the LocalStore, whose
+// scans are byte-ordered; the codec here guarantees that
+// Encode(a) < Encode(b) (bytewise) iff a < b (typed), for every supported
+// type — which is what makes range scans and index lookups correct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/errors.h"
+#include "src/common/serde.h"
+
+namespace delos::table {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+using Value = std::variant<std::monostate, bool, int64_t, double, std::string>;
+
+ValueType TypeOf(const Value& value);
+const char* TypeName(ValueType type);
+
+// Order-preserving encoding. Values of different types order by type tag.
+//  * int64: sign bit flipped, big-endian.
+//  * double: sign-magnitude flip (negative values reverse order), big-endian.
+//  * string: 0x00 escaped as {0x00, 0xFF}, terminated by {0x00, 0x00} so a
+//    prefix never sorts between its extensions' components in composite keys.
+void EncodeOrdered(const Value& value, std::string* out);
+std::string EncodeOrdered(const Value& value);
+// Decodes one value from `in` starting at *offset, advancing it.
+Value DecodeOrdered(std::string_view in, size_t* offset);
+
+// Plain (non-ordered) serialization for row storage.
+void WriteValue(Serializer& ser, const Value& value);
+Value ReadValue(Deserializer& de);
+
+// Human-readable rendering for examples and debug output.
+std::string ToString(const Value& value);
+
+}  // namespace delos::table

@@ -1,0 +1,158 @@
+#include "src/apps/locks/lock_service.h"
+
+#include <algorithm>
+
+namespace delos::locks {
+
+std::string LockApplicator::LockKey(const std::string& lock) { return "l/" + lock; }
+
+std::string LockApplicator::LockRecord::Encode() const {
+  Serializer ser;
+  ser.WriteString(owner);
+  ser.WriteVarint(waiters.size());
+  for (const std::string& waiter : waiters) {
+    ser.WriteString(waiter);
+  }
+  return ser.Release();
+}
+
+LockApplicator::LockRecord LockApplicator::LockRecord::Decode(std::string_view bytes) {
+  Deserializer de(bytes);
+  LockRecord record;
+  record.owner = de.ReadString();
+  const uint64_t count = de.ReadVarint();
+  for (uint64_t i = 0; i < count; ++i) {
+    record.waiters.push_back(de.ReadString());
+  }
+  return record;
+}
+
+std::any LockApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  pending_grants_.clear();
+  if (entry.payload.empty()) {
+    return std::any(Unit{});
+  }
+  OpReader op(entry.payload);
+  const std::string lock = op.args().ReadString();
+  const std::string owner = op.args().ReadString();
+  const std::string key = LockKey(lock);
+  auto bytes = txn.Get(key);
+  LockRecord record = bytes.has_value() ? LockRecord::Decode(*bytes) : LockRecord{};
+
+  switch (op.op_code()) {
+    case LockClient::kAcquire: {
+      if (record.owner == owner) {
+        return std::any(true);  // Re-acquire by the holder: idempotent.
+      }
+      if (record.owner.empty()) {
+        record.owner = owner;
+        txn.Put(key, record.Encode());
+        pending_grants_.emplace_back(lock, owner);
+        return std::any(true);
+      }
+      if (std::find(record.waiters.begin(), record.waiters.end(), owner) ==
+          record.waiters.end()) {
+        record.waiters.push_back(owner);
+        txn.Put(key, record.Encode());
+      }
+      return std::any(false);
+    }
+    case LockClient::kRelease: {
+      if (record.owner == owner) {
+        if (record.waiters.empty()) {
+          record.owner.clear();
+        } else {
+          // Hand off to the next waiter within the same log entry.
+          record.owner = record.waiters.front();
+          record.waiters.erase(record.waiters.begin());
+          pending_grants_.emplace_back(lock, record.owner);
+        }
+        txn.Put(key, record.Encode());
+        return std::any(Unit{});
+      }
+      auto it = std::find(record.waiters.begin(), record.waiters.end(), owner);
+      if (it != record.waiters.end()) {
+        record.waiters.erase(it);
+        txn.Put(key, record.Encode());
+        return std::any(Unit{});
+      }
+      throw NotLockOwnerError(lock);
+    }
+    default:
+      throw LockError("unknown op code " + std::to_string(op.op_code()));
+  }
+}
+
+void LockApplicator::PostApply(const LogEntry& entry, LogPos pos) {
+  if (pending_grants_.empty()) {
+    return;
+  }
+  std::vector<GrantCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(callbacks_mu_);
+    callbacks = callbacks_;
+  }
+  for (const auto& [lock, owner] : pending_grants_) {
+    for (const auto& callback : callbacks) {
+      callback(lock, owner);
+    }
+  }
+  pending_grants_.clear();
+}
+
+void LockApplicator::OnGrant(GrantCallback callback) {
+  std::lock_guard<std::mutex> lock(callbacks_mu_);
+  callbacks_.push_back(std::move(callback));
+}
+
+LockClient::LockClient(IEngine* top, LockApplicator* applicator)
+    : AppWrapperBase(top), applicator_(applicator) {
+  applicator_->OnGrant([this](const std::string& lock, const std::string& owner) {
+    {
+      std::lock_guard<std::mutex> guard(granted_mu_);
+      granted_[{lock, owner}] = true;
+    }
+    granted_cv_.notify_all();
+  });
+}
+
+bool LockClient::Acquire(const std::string& lock, const std::string& owner) {
+  OpWriter op(kAcquire);
+  op.args().WriteString(lock);
+  op.args().WriteString(owner);
+  return ProposeAndGet<bool>(std::move(op).ToEntry());
+}
+
+bool LockClient::AcquireWait(const std::string& lock, const std::string& owner,
+                             int64_t timeout_micros) {
+  {
+    std::lock_guard<std::mutex> guard(granted_mu_);
+    granted_[{lock, owner}] = false;
+  }
+  if (Acquire(lock, owner)) {
+    return true;
+  }
+  std::unique_lock<std::mutex> guard(granted_mu_);
+  return granted_cv_.wait_for(guard, std::chrono::microseconds(timeout_micros),
+                              [&] { return granted_[{lock, owner}]; });
+}
+
+void LockClient::Release(const std::string& lock, const std::string& owner) {
+  OpWriter op(kRelease);
+  op.args().WriteString(lock);
+  op.args().WriteString(owner);
+  ProposeAndGet<Unit>(std::move(op).ToEntry());
+}
+
+std::string LockClient::Owner(const std::string& lock) {
+  ROTxn snapshot = SyncRead();
+  auto bytes = snapshot.Get(LockApplicator::LockKey(lock));
+  if (!bytes.has_value()) {
+    return "";
+  }
+  // Private decode mirrored here via the applicator's record format.
+  Deserializer de(*bytes);
+  return de.ReadString();
+}
+
+}  // namespace delos::locks

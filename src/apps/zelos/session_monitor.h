@@ -1,0 +1,61 @@
+// SessionMonitor: Zelos's failure detector for client sessions.
+//
+// ZooKeeper expires a session when no heartbeat arrives within its timeout.
+// Here, each server may run a SessionMonitor that polls the committed
+// session table: a session whose heartbeat position has not advanced for
+// longer than its timeout (measured on the monitor's local clock) is expired
+// by proposing an ExpireSession command — the decision travels through the
+// log, so ephemeral-node cleanup is deterministic on every replica even
+// though the detection used a local clock. Multiple monitors racing to
+// expire the same session are harmless (expiry is idempotent).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "src/apps/zelos/zelos.h"
+#include "src/common/clock.h"
+
+namespace delos::zelos {
+
+class SessionMonitor {
+ public:
+  struct Options {
+    int64_t check_interval_micros = 20'000;
+    Clock* clock = nullptr;  // defaults to RealClock
+  };
+
+  // `client` proposes the expirations; `store` is the local replica state
+  // the monitor watches. Starts its thread immediately.
+  SessionMonitor(ZelosClient* client, LocalStore* store, Options options);
+  SessionMonitor(ZelosClient* client, LocalStore* store)
+      : SessionMonitor(client, store, Options{}) {}
+  ~SessionMonitor();
+
+  SessionMonitor(const SessionMonitor&) = delete;
+  SessionMonitor& operator=(const SessionMonitor&) = delete;
+
+  uint64_t sessions_expired() const { return expired_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Observation {
+    std::string heartbeat_state;  // last observed heartbeat record (or "")
+    int64_t observed_at_micros = 0;
+    int64_t timeout_micros = 0;
+  };
+
+  void MonitorLoop();
+  void CheckOnce();
+
+  ZelosClient* client_;
+  LocalStore* store_;
+  Options options_;
+  Clock* clock_;
+  std::map<SessionId, Observation> observations_;
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<bool> shutdown_{false};
+  std::thread thread_;
+};
+
+}  // namespace delos::zelos

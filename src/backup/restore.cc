@@ -1,0 +1,111 @@
+#include "src/backup/restore.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+#include "src/engines/log_backup_engine.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos {
+
+std::string SnapshotBackupManager::SnapshotObjectName(LogPos pos) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%s%020llu", kSnapshotPrefix,
+                static_cast<unsigned long long>(pos));
+  return buffer;
+}
+
+LogPos SnapshotBackupManager::BackupNow(BaseEngine* base) {
+  base->FlushNow();
+  const LogPos pos = base->durable_position();
+  std::ifstream in(checkpoint_path_, std::ios::binary);
+  if (!in) {
+    throw StoreError("snapshot backup: cannot read checkpoint " + checkpoint_path_);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  backup_store_->PutObject(SnapshotObjectName(pos), bytes);
+  // The log below this position is recoverable from the snapshot.
+  stack_top_->SetTrimPrefix(pos);
+  return pos;
+}
+
+RestoreResult RestoreFromBackup(const BackupStore& backup, const RestoreOptions& options,
+                                const Cluster::StackBuilder& builder) {
+  // Collect backed-up entries up to the target position.
+  std::map<LogPos, std::string> entries;
+  for (const std::string& object : backup.ListObjects(LogBackupEngine::kSegmentPrefix)) {
+    auto bytes = backup.GetObject(object);
+    if (!bytes.has_value()) {
+      continue;
+    }
+    Deserializer de(*bytes);
+    const uint64_t count = de.ReadVarint();
+    for (uint64_t i = 0; i < count; ++i) {
+      const LogPos pos = de.ReadVarint();
+      std::string payload = de.ReadString();
+      if (pos <= options.target_pos) {
+        entries.emplace(pos, std::move(payload));
+      }
+    }
+  }
+
+  // Optionally seed the LocalStore from the newest eligible snapshot.
+  LocalStore::Options store_options;
+  if (options.use_snapshot) {
+    std::string best;
+    LogPos best_pos = 0;
+    for (const std::string& object :
+         backup.ListObjects(SnapshotBackupManager::kSnapshotPrefix)) {
+      const LogPos pos = std::stoull(
+          object.substr(std::string(SnapshotBackupManager::kSnapshotPrefix).size()));
+      if (pos <= options.target_pos && pos >= best_pos) {
+        best = object;
+        best_pos = pos;
+      }
+    }
+    if (!best.empty()) {
+      auto bytes = backup.GetObject(best);
+      std::ofstream out(options.scratch_checkpoint_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+      if (!out) {
+        throw StoreError("restore: cannot materialize snapshot checkpoint");
+      }
+      out.close();
+      store_options.checkpoint_path = options.scratch_checkpoint_path;
+      LOG_INFO << "restore: starting from snapshot at position " << best_pos;
+    }
+  }
+
+  // Refill an in-memory log with the contiguous backed-up run at the
+  // original positions.
+  LogPos start_pos = entries.empty() ? 1 : entries.begin()->first;
+  auto log = std::make_shared<InMemoryLog>(start_pos);
+  LogPos last_pos = start_pos - 1;
+  for (const auto& [pos, payload] : entries) {
+    if (pos != last_pos + 1) {
+      LOG_WARNING << "restore: gap in log backup at position " << pos << "; stopping replay";
+      break;
+    }
+    log->Append(payload);
+    last_pos = pos;
+  }
+
+  auto store = LocalStore::Open(store_options);
+  RestoreResult result;
+  result.server = std::make_unique<ClusterServer>("restore", std::move(log), std::move(store),
+                                                  BaseEngineOptions{});
+  if (builder != nullptr) {
+    builder(*result.server);
+  }
+  result.server->Start();
+  if (last_pos >= start_pos) {
+    result.server->top()->Sync().Get();
+  }
+  result.restored_to = result.server->base()->applied_position();
+  return result;
+}
+
+}  // namespace delos

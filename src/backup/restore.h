@@ -1,0 +1,68 @@
+// Point-in-Time restore (§4.2): reconstruct any intermediate state of a
+// Delos database from a snapshot backup plus the backed-up log played
+// forward to a chosen position.
+//
+// Restore builds a fresh server: an InMemoryLog refilled (at the original
+// positions) from the LogBackupEngine's segment objects, a LocalStore
+// (optionally seeded from a snapshot object), and whatever stack/application
+// the caller's builder attaches — then syncs to the target position.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/backup/backup_store.h"
+#include "src/core/cluster.h"
+
+namespace delos {
+
+// Uploads LocalStore snapshots to the backup store and releases the
+// corresponding log prefix for trimming (the "snapshot backup manager
+// attached to the LocalStore" of §4.2).
+class SnapshotBackupManager {
+ public:
+  SnapshotBackupManager(BackupStore* backup_store, std::string checkpoint_path,
+                        IEngine* stack_top)
+      : backup_store_(backup_store),
+        checkpoint_path_(std::move(checkpoint_path)),
+        stack_top_(stack_top) {}
+
+  // Flushes the store through `base`, uploads the checkpoint file as
+  // "snapshot/<durable position>", and relays the trim allowance to the top
+  // of the stack. Returns the snapshot's position.
+  LogPos BackupNow(BaseEngine* base);
+
+  static std::string SnapshotObjectName(LogPos pos);
+  static constexpr char kSnapshotPrefix[] = "snapshot/";
+
+ private:
+  BackupStore* backup_store_;
+  std::string checkpoint_path_;
+  IEngine* stack_top_;
+};
+
+struct RestoreOptions {
+  // Restore state as of this log position (inclusive); kNoTrimConstraint
+  // (default) restores to the latest backed-up entry.
+  LogPos target_pos = kNoTrimConstraint;
+  // When true, start from the newest snapshot object at or below target_pos
+  // and replay only the suffix; otherwise replay the whole log backup.
+  bool use_snapshot = false;
+  // Scratch path for materializing the snapshot checkpoint.
+  std::string scratch_checkpoint_path = "/tmp/delos_restore.ckpt";
+};
+
+// The restored server: inspect `server->store()` or attach a client to
+// `server->top()`.
+struct RestoreResult {
+  std::unique_ptr<ClusterServer> server;
+  LogPos restored_to = 0;
+};
+
+// `builder` attaches the same middle engines / application the original
+// deployment ran (minus coordination-only engines if desired).
+RestoreResult RestoreFromBackup(const BackupStore& backup, const RestoreOptions& options,
+                                const Cluster::StackBuilder& builder);
+
+}  // namespace delos

@@ -1,0 +1,73 @@
+// Unbounded MPMC blocking queue with shutdown, used by apply/flush/trim
+// worker threads and the simulated network's delivery thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace delos {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  // Enqueues an item. Returns false if the queue is closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed-and-drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Wakes all waiters; subsequent pushes fail and pops drain then return
+  // nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace delos

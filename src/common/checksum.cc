@@ -1,0 +1,30 @@
+#include "src/common/checksum.h"
+
+namespace delos {
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (const char c : data) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t IncrementalChecksum::PairHash(std::string_view key, std::string_view value) {
+  // Domain-separate key and value (a length prefix baked into the seed chain)
+  // so that ("ab","c") and ("a","bc") hash differently.
+  uint64_t h = Fnv1a64(key);
+  h = Fnv1a64("\x1f", h);  // separator
+  h = Fnv1a64(value, h);
+  // Avalanche (splitmix64 finalizer) so XOR-combining pair hashes does not
+  // cancel structure shared between related pairs.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace delos

@@ -1,0 +1,39 @@
+// Hashing and incremental content checksums.
+//
+// The paper (§6) reports that Delos guards against replica divergence with
+// incremental checksums of the LocalStore. We reproduce that: the store keeps
+// a rolling checksum that is a function only of its live (key, value) set, so
+// two replicas that applied the same log prefix must agree on it regardless
+// of write order or compaction history.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace delos {
+
+// 64-bit FNV-1a. Stable across platforms; used for checksum building blocks
+// and for deterministic hashing needs (e.g. LogBackup segment naming).
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = 14695981039346656037ULL);
+
+// Order-independent incremental checksum over a set of (key, value) pairs.
+//
+// The digest is the XOR of a per-pair hash, so inserting and then removing a
+// pair restores the previous digest. XOR makes updates O(1):
+//   Add(k, v)    when a pair becomes live,
+//   Remove(k, v) when it stops being live (overwritten or deleted).
+class IncrementalChecksum {
+ public:
+  void Add(std::string_view key, std::string_view value) { digest_ ^= PairHash(key, value); }
+  void Remove(std::string_view key, std::string_view value) { digest_ ^= PairHash(key, value); }
+
+  uint64_t digest() const { return digest_; }
+  void Reset() { digest_ = 0; }
+
+  static uint64_t PairHash(std::string_view key, std::string_view value);
+
+ private:
+  uint64_t digest_ = 0;
+};
+
+}  // namespace delos

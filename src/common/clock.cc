@@ -1,0 +1,39 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace delos {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepMicros(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock clock;
+  return &clock;
+}
+
+void SimClock::SleepMicros(int64_t micros) {
+  if (micros <= 0) {
+    return;
+  }
+  const int64_t deadline = NowMicros() + micros;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return NowMicros() >= deadline; });
+}
+
+void SimClock::Advance(int64_t micros) {
+  now_.fetch_add(micros, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+}  // namespace delos

@@ -1,0 +1,74 @@
+// Clock abstraction.
+//
+// Engines that reason about time (TimeEngine timers, LeaseEngine validity,
+// ViewTrackingEngine failure detection) take a Clock* so tests and benches
+// can drive them with a simulated, skewable clock. The LeaseEngine safety
+// property test relies on SimClock's per-replica skew injection.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace delos {
+
+// Monotonic-ish microsecond clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time in microseconds. Only differences are meaningful.
+  virtual int64_t NowMicros() const = 0;
+
+  // Blocks (really or virtually) for the given duration.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+// Wall-clock implementation backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void SleepMicros(int64_t micros) override;
+
+  // Shared process-wide instance.
+  static RealClock* Instance();
+};
+
+// Manually advanced clock for deterministic tests. Thread-safe. Sleepers are
+// woken when Advance moves time past their deadline.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_.load(std::memory_order_acquire); }
+  void SleepMicros(int64_t micros) override;
+
+  // Moves time forward and wakes sleepers whose deadline passed.
+  void Advance(int64_t micros);
+
+ private:
+  std::atomic<int64_t> now_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+// A view of an underlying clock offset by a fixed skew. Models imperfectly
+// synchronized replica clocks; used by lease-safety tests.
+class SkewedClock : public Clock {
+ public:
+  SkewedClock(Clock* base, int64_t skew_micros) : base_(base), skew_micros_(skew_micros) {}
+
+  int64_t NowMicros() const override { return base_->NowMicros() + skew_micros_; }
+  void SleepMicros(int64_t micros) override { base_->SleepMicros(micros); }
+
+  void set_skew_micros(int64_t skew) { skew_micros_ = skew; }
+  int64_t skew_micros() const { return skew_micros_; }
+
+ private:
+  Clock* base_;
+  std::atomic<int64_t> skew_micros_;
+};
+
+}  // namespace delos

@@ -1,0 +1,116 @@
+#include "src/common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 1 << 16;
+constexpr size_t kHashSize = 1 << 13;
+
+uint32_t HashAt(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - 13);
+}
+
+}  // namespace
+
+std::string Compress(std::string_view input) {
+  Serializer out;
+  out.WriteVarint(input.size());
+  if (input.size() < kMinMatch) {
+    out.WriteVarint(input.size());
+    std::string result = out.Release();
+    result.append(input);
+    Serializer tail;
+    tail.WriteVarint(0);  // terminating match
+    result += tail.buffer();
+    return result;
+  }
+
+  // Hash chain of most recent position per 4-byte prefix hash.
+  std::vector<size_t> table(kHashSize, SIZE_MAX);
+  const char* data = input.data();
+  const size_t size = input.size();
+  size_t pos = 0;
+  size_t literal_start = 0;
+  std::string result = out.Release();
+
+  const auto emit = [&](size_t literal_end, size_t match_len, size_t match_offset) {
+    Serializer token;
+    token.WriteVarint(literal_end - literal_start);
+    result += token.buffer();
+    result.append(data + literal_start, literal_end - literal_start);
+    Serializer match;
+    match.WriteVarint(match_len);
+    if (match_len > 0) {
+      match.WriteVarint(match_offset);
+    }
+    result += match.buffer();
+  };
+
+  while (pos + kMinMatch <= size) {
+    const uint32_t hash = HashAt(data + pos);
+    const size_t candidate = table[hash];
+    table[hash] = pos;
+    if (candidate != SIZE_MAX && pos - candidate <= kMaxOffset &&
+        std::memcmp(data + candidate, data + pos, kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      while (pos + len < size && data[candidate + len] == data[pos + len]) {
+        ++len;
+      }
+      emit(pos, len, pos - candidate);
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals + terminator.
+  emit(size, 0, 0);
+  return result;
+}
+
+std::string Decompress(std::string_view compressed) {
+  Deserializer de(compressed);
+  const uint64_t original_size = de.ReadVarint();
+  std::string out;
+  out.reserve(original_size);
+  while (true) {
+    const uint64_t literal_len = de.ReadVarint();
+    if (literal_len > de.remaining()) {
+      throw SerdeError("compress: truncated literal run");
+    }
+    for (uint64_t i = 0; i < literal_len; ++i) {
+      // Bulk-append via ReadString is unavailable (no length prefix), so
+      // copy through the deserializer's fixed-width reader.
+      out.push_back(static_cast<char>(de.ReadFixed8()));
+    }
+    const uint64_t match_len = de.ReadVarint();
+    if (match_len == 0) {
+      break;
+    }
+    const uint64_t offset = de.ReadVarint();
+    if (offset == 0 || offset > out.size()) {
+      throw SerdeError("compress: bad match offset");
+    }
+    // Byte-by-byte copy: matches may overlap themselves (run-length case).
+    size_t from = out.size() - offset;
+    for (uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != original_size) {
+    throw SerdeError("compress: size mismatch after decompression");
+  }
+  return out;
+}
+
+}  // namespace delos

@@ -1,0 +1,22 @@
+// A small LZ77-family codec (LZ4-style token stream) used by the
+// CompressionEngine. No entropy stage: the goal is cheap, dependency-free
+// compression of log-entry payloads, which in replicated databases are often
+// highly repetitive (serialized rows, paths, padding).
+//
+// Format: a varint of the uncompressed size, then a sequence of tokens:
+//   varint literal_len, <literal bytes>,
+//   varint match_len (0 terminates), varint match_offset (1-based, back
+//   from the current output position).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace delos {
+
+std::string Compress(std::string_view input);
+
+// Throws SerdeError on malformed input.
+std::string Decompress(std::string_view compressed);
+
+}  // namespace delos

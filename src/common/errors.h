@@ -1,0 +1,88 @@
+// Exception taxonomy for the Delos reproduction.
+//
+// The paper (§3.4) makes exceptions part of the protocol contract:
+//  * A *deterministic* exception thrown inside an engine's or application's
+//    apply upcall rolls back that layer's nested sub-transaction and is
+//    relayed, RPC-style, to the waiting propose call. The system keeps
+//    processing subsequent log entries (consistency is preserved because
+//    every replica throws identically).
+//  * A *non-deterministic* exception (e.g. local-store I/O failure) may
+//    diverge across replicas; the only safe response is to crash the server.
+//
+// We encode that split in the type system: everything derived from
+// DeterministicError is benign-by-contract; NonDeterministicError subtypes
+// cause the apply loop to abort the server.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace delos {
+
+// Root of all Delos exceptions.
+class DelosError : public std::runtime_error {
+ public:
+  explicit DelosError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Deterministic errors: same inputs throw identically on every replica.
+// Applications throw these freely from apply (e.g. row_not_found).
+class DeterministicError : public DelosError {
+ public:
+  explicit DeterministicError(const std::string& what) : DelosError(what) {}
+};
+
+// Non-deterministic errors: replica-local failures. The apply loop treats
+// these (and any exception not derived from DeterministicError) as fatal.
+class NonDeterministicError : public DelosError {
+ public:
+  explicit NonDeterministicError(const std::string& what) : DelosError(what) {}
+};
+
+// Malformed bytes during deserialization. Deterministic: every replica sees
+// the same log entry bytes.
+class SerdeError : public DeterministicError {
+ public:
+  explicit SerdeError(const std::string& what) : DeterministicError(what) {}
+};
+
+// LocalStore failures that may not reproduce across replicas (out of space,
+// checkpoint I/O, corruption detected by checksum).
+class StoreError : public NonDeterministicError {
+ public:
+  explicit StoreError(const std::string& what) : NonDeterministicError(what) {}
+};
+
+// A log position below the trim prefix was read.
+class TrimmedError : public DelosError {
+ public:
+  explicit TrimmedError(const std::string& what) : DelosError(what) {}
+};
+
+// A shared-log operation could not complete (no quorum, sealed loglet, ...).
+class LogUnavailableError : public DelosError {
+ public:
+  explicit LogUnavailableError(const std::string& what) : DelosError(what) {}
+};
+
+// An operation raced with a loglet seal during reconfiguration; retried
+// internally by the VirtualLog, surfaced only if retries are exhausted.
+class SealedError : public DelosError {
+ public:
+  explicit SealedError(const std::string& what) : DelosError(what) {}
+};
+
+// Propose was refused by a protocol engine (e.g. the BlockingEngine example
+// from Figure 4, or a non-leaseholder write while a lease is active).
+class ProposeRejectedError : public DeterministicError {
+ public:
+  explicit ProposeRejectedError(const std::string& what) : DeterministicError(what) {}
+};
+
+// Future/Promise misuse or a promise dropped without fulfillment.
+class BrokenPromiseError : public DelosError {
+ public:
+  explicit BrokenPromiseError(const std::string& what) : DelosError(what) {}
+};
+
+}  // namespace delos

@@ -1,0 +1,202 @@
+// A small Future/Promise with continuations.
+//
+// The IEngine API (paper Figure 2) returns Future<ReturnType> from propose
+// and Future<ROTx> from sync. std::future lacks continuations, which the
+// BaseEngine needs (e.g. "when this append completes, schedule playback to
+// its position"), so we provide a minimal shared-state future:
+//   * Future<T> is copyable (shared-future semantics); Get() blocks and
+//     rethrows a stored exception.
+//   * Then(fn) runs fn(Result<T>) immediately if ready, else from the thread
+//     that fulfills the promise.
+//   * A Promise destroyed without fulfillment delivers BrokenPromiseError.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/errors.h"
+
+namespace delos {
+
+// Result<T>: value or exception. What continuations receive.
+template <typename T>
+class Result {
+ public:
+  static Result Ok(T value) {
+    Result r;
+    r.value_ = std::move(value);
+    return r;
+  }
+  static Result Err(std::exception_ptr error) {
+    Result r;
+    r.error_ = std::move(error);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+  const std::exception_ptr& error() const { return error_; }
+
+  // Returns the value or rethrows the stored exception.
+  T Unwrap() && {
+    if (error_) {
+      std::rethrow_exception(error_);
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::exception_ptr error_;
+};
+
+struct Unit {};
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool ready = false;
+  std::vector<std::function<void(Result<T>)>> callbacks;
+
+  Result<T> MakeResult() {
+    if (error) {
+      return Result<T>::Err(error);
+    }
+    return Result<T>::Ok(*value);
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool IsReady() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->ready;
+  }
+
+  // Blocks until the promise is fulfilled; rethrows a stored exception.
+  T Get() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (state_->error) {
+      std::rethrow_exception(state_->error);
+    }
+    return *state_->value;
+  }
+
+  // Blocks up to the timeout. Returns nullopt on timeout; rethrows on error.
+  std::optional<T> GetFor(std::chrono::microseconds timeout) const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (!state_->cv.wait_for(lock, timeout, [&] { return state_->ready; })) {
+      return std::nullopt;
+    }
+    if (state_->error) {
+      std::rethrow_exception(state_->error);
+    }
+    return *state_->value;
+  }
+
+  // Registers a continuation. Runs inline if already ready, else on the
+  // fulfilling thread. Continuations must not block on the same future.
+  void Then(std::function<void(Result<T>)> fn) const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (!state_->ready) {
+        state_->callbacks.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn(state_->MakeResult());
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  ~Promise() {
+    if (state_ != nullptr && !fulfilled_) {
+      SetException(std::make_exception_ptr(BrokenPromiseError("promise dropped unfulfilled")));
+    }
+  }
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  void SetValue(T value) {
+    Fulfill([&](internal::FutureState<T>& s) { s.value = std::move(value); });
+  }
+
+  void SetException(std::exception_ptr error) {
+    Fulfill([&](internal::FutureState<T>& s) { s.error = std::move(error); });
+  }
+
+ private:
+  template <typename Setter>
+  void Fulfill(Setter setter) {
+    std::vector<std::function<void(Result<T>)>> callbacks;
+    Result<T> result = Result<T>::Err(nullptr);
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->ready) {
+        return;  // First fulfillment wins; duplicates are ignored.
+      }
+      setter(*state_);
+      state_->ready = true;
+      callbacks.swap(state_->callbacks);
+      result = state_->MakeResult();
+      state_->cv.notify_all();
+    }
+    fulfilled_ = true;
+    for (auto& cb : callbacks) {
+      cb(result);
+    }
+  }
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+  bool fulfilled_ = false;
+};
+
+// Convenience: an already-fulfilled future.
+template <typename T>
+Future<T> MakeReadyFuture(T value) {
+  Promise<T> promise;
+  promise.SetValue(std::move(value));
+  return promise.GetFuture();
+}
+
+template <typename T>
+Future<T> MakeErrorFuture(std::exception_ptr error) {
+  Promise<T> promise;
+  promise.SetException(std::move(error));
+  return promise.GetFuture();
+}
+
+}  // namespace delos

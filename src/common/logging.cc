@@ -1,0 +1,59 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace delos {
+
+LogLevel& GlobalLogThreshold() {
+  static LogLevel threshold = LogLevel::kWarning;
+  return threshold;
+}
+
+namespace internal {
+namespace {
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelTag(level) << " " << (base != nullptr ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace delos

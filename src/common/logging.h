@@ -1,0 +1,68 @@
+// Minimal leveled logging for the Delos reproduction.
+//
+// Engines and substrates log through LOG(level) streams; tests can raise the
+// global threshold to keep output quiet. This intentionally stays tiny: the
+// paper's observability story is the ObserverEngine + metrics, not logs.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace delos {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the mutable global log threshold. Messages below it are dropped.
+LogLevel& GlobalLogThreshold();
+
+namespace internal {
+
+// One log statement. Accumulates a message and emits it (with a timestamp and
+// level tag) on destruction. FATAL messages abort the process: the paper
+// prescribes crashing on non-deterministic failures (§3.4), and callers use
+// LOG(kFatal) for exactly that.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Cheap guard so disabled levels don't evaluate stream arguments eagerly via
+// the short-circuit in the LOG macro below.
+inline bool LogEnabled(LogLevel level) { return level >= GlobalLogThreshold(); }
+
+}  // namespace internal
+
+}  // namespace delos
+
+#define DELOS_LOG(level)                                      \
+  if (!::delos::internal::LogEnabled(::delos::LogLevel::level)) { \
+  } else                                                      \
+    ::delos::internal::LogMessage(::delos::LogLevel::level, __FILE__, __LINE__)
+
+#define LOG_DEBUG DELOS_LOG(kDebug)
+#define LOG_INFO DELOS_LOG(kInfo)
+#define LOG_WARNING DELOS_LOG(kWarning)
+#define LOG_ERROR DELOS_LOG(kError)
+#define LOG_FATAL ::delos::internal::LogMessage(::delos::LogLevel::kFatal, __FILE__, __LINE__)

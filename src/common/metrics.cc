@@ -1,0 +1,170 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/clock.h"
+
+namespace delos {
+
+namespace {
+
+// Bucket layout: 32 linear buckets for [0, 32), then 16 sub-buckets per
+// power of two. Gives <= ~6% relative error across the range.
+constexpr int kLinearBuckets = 32;
+constexpr int kSubBuckets = 16;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBuckets) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  if (value < kLinearBuckets) {
+    return static_cast<int>(value);
+  }
+  // Position of the highest set bit.
+  const int log2 = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  const int base_log = 5;  // log2(kLinearBuckets)
+  const int sub = static_cast<int>((value >> (log2 - 4)) & (kSubBuckets - 1));
+  const int index = kLinearBuckets + (log2 - base_log) * kSubBuckets + sub;
+  return std::min(index, kBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kLinearBuckets) {
+    return index;
+  }
+  const int base_log = 5;
+  const int tier = (index - kLinearBuckets) / kSubBuckets;
+  const int sub = (index - kLinearBuckets) % kSubBuckets;
+  const int log2 = base_log + tier;
+  const int64_t base = int64_t{1} << log2;
+  const int64_t step = base / kSubBuckets;
+  return base + step * (sub + 1) - 1;
+}
+
+void Histogram::Record(int64_t value_micros) {
+  buckets_[BucketFor(value_micros)].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  total_sum_.fetch_add(value_micros < 0 ? 0 : value_micros, std::memory_order_relaxed);
+  int64_t prev = max_seen_.load(std::memory_order_relaxed);
+  while (value_micros > prev &&
+         !max_seen_.compare_exchange_weak(prev, value_micros, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::count() const { return total_count_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_sum_.load(std::memory_order_relaxed)) / static_cast<double>(n);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target && seen > 0) {
+      return BucketUpperBound(i);
+    }
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  total_count_.store(0, std::memory_order_relaxed);
+  total_sum_.store(0, std::memory_order_relaxed);
+  max_seen_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  total_count_.fetch_add(other.total_count_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  total_sum_.fetch_add(other.total_sum_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  int64_t other_max = other.Max();
+  int64_t prev = max_seen_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_seen_.compare_exchange_weak(prev, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, _] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, _] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " value=" << counter->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << " count=" << histogram->count() << " mean=" << histogram->Mean()
+        << " p50=" << histogram->Percentile(50) << " p99=" << histogram->Percentile(99)
+        << " max=" << histogram->Max() << "\n";
+  }
+  return out.str();
+}
+
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* histogram)
+    : histogram_(histogram), start_micros_(RealClock::Instance()->NowMicros()) {}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  histogram_->Record(RealClock::Instance()->NowMicros() - start_micros_);
+}
+
+}  // namespace delos

@@ -1,0 +1,94 @@
+// Counters and latency histograms.
+//
+// The ObserverEngine (§4.1) measures per-layer propose/sync latency into
+// named histograms; the Figure 8/10/11 benches query percentiles from them.
+// Histograms are log-bucketed (≈7% relative error), lock-free on the record
+// path, and mergeable so fleet-style benches can aggregate across clusters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace delos {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Log-bucketed histogram for microsecond latencies (covers 1 µs .. ~17 min).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value_micros);
+
+  uint64_t count() const;
+  double Mean() const;
+  // Returns an approximate value at percentile p in [0, 100].
+  int64_t Percentile(double p) const;
+  int64_t Max() const { return max_seen_.load(std::memory_order_relaxed); }
+
+  void Reset();
+  // Adds other's samples into this histogram.
+  void Merge(const Histogram& other);
+
+ private:
+  // 32 linear buckets + 16 sub-buckets per power of two up to 2^31 µs
+  // (~36 minutes).
+  static constexpr int kBuckets = 32 + 26 * 16;
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> total_count_{0};
+  std::atomic<int64_t> total_sum_{0};
+  std::atomic<int64_t> max_seen_{0};
+};
+
+// Named metric registry. One per server (or per bench); engines receive a
+// pointer and create metrics lazily by name.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Snapshot of all metric names currently registered.
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  // Renders "name count=.. p50=.. p99=.." lines (dashboard-style output used
+  // by the Figure 11 bench).
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII latency timer recording into a histogram on destruction.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram);
+  ~ScopedLatencyTimer();
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_micros_;
+};
+
+}  // namespace delos

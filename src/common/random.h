@@ -1,0 +1,49 @@
+// Deterministic pseudo-random helpers for tests, property sweeps, and
+// workload generators. Everything is seeded explicitly so runs reproduce.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace delos {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Exponentially distributed value with the given mean (inter-arrival gaps
+  // for open-loop workload generators).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Random printable ASCII string of exactly n bytes.
+  std::string String(size_t n) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(kAlphabet[Uniform(0, sizeof(kAlphabet) - 2)]);
+    }
+    return out;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace delos

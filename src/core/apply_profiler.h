@@ -1,0 +1,112 @@
+// ApplyProfiler: per-layer accounting of apply-thread time.
+//
+// Figure 7 of the paper samples the apply thread's stack fleet-wide and
+// reports, per engine, the fraction of samples that include that engine's
+// apply frame. We measure the same quantity deterministically: every layer
+// wraps its apply work in a Scope; the profiler accumulates *inclusive*
+// time per label plus the total busy time, and the Figure 7 bench reports
+// inclusive-share percentages (a stack sample includes a frame iff that
+// frame is on the stack, i.e. with probability proportional to its
+// inclusive time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace delos {
+
+class ApplyProfiler {
+ public:
+  class Scope {
+   public:
+    // A null profiler makes the scope a no-op, so layers can be profiled
+    // only when a bench asks for it. The label must outlive the scope (use a
+    // precomputed per-engine string, not a temporary, on hot paths).
+    Scope(ApplyProfiler* profiler, const std::string& label)
+        : profiler_(profiler),
+          label_(&label),
+          start_micros_(profiler != nullptr ? RealClock::Instance()->NowMicros() : 0) {}
+
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        profiler_->Record(*label_, RealClock::Instance()->NowMicros() - start_micros_);
+      }
+    }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ApplyProfiler* profiler_;
+    const std::string* label_;
+    int64_t start_micros_;
+  };
+
+  void Record(const std::string& label, int64_t micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inclusive_micros_[label] += micros;
+  }
+
+  // Adds to the total apply-thread busy time (recorded once per entry by the
+  // BaseEngine, spanning beginTX..postApply).
+  void RecordBusy(int64_t micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_busy_micros_ += micros;
+  }
+
+  std::map<std::string, int64_t> InclusiveMicros() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inclusive_micros_;
+  }
+
+  int64_t TotalBusyMicros() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_busy_micros_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    inclusive_micros_.clear();
+    total_busy_micros_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> inclusive_micros_;
+  int64_t total_busy_micros_ = 0;
+};
+
+}  // namespace delos
+
+#include "src/core/engine.h"
+
+namespace delos {
+
+// Wraps an application applicator so its apply/postApply frames show up in
+// the profiler under "app.*" — the top of the Figure 7 stack breakdown.
+class ProfiledApplicator : public IApplicator {
+ public:
+  ProfiledApplicator(IApplicator* inner, ApplyProfiler* profiler)
+      : inner_(inner), profiler_(profiler) {}
+
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    static const std::string kLabel = "app.apply";
+    ApplyProfiler::Scope scope(profiler_, kLabel);
+    return inner_->Apply(txn, entry, pos);
+  }
+  void PostApply(const LogEntry& entry, LogPos pos) override {
+    static const std::string kLabel = "app.postApply";
+    ApplyProfiler::Scope scope(profiler_, kLabel);
+    inner_->PostApply(entry, pos);
+  }
+
+ private:
+  IApplicator* inner_;
+  ApplyProfiler* profiler_;
+};
+
+}  // namespace delos

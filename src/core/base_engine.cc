@@ -1,0 +1,416 @@
+#include "src/core/base_engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+constexpr char kBaseHeaderName[] = "base";
+
+std::string EncodeBaseHeader(const std::string& instance_id, uint64_t seq) {
+  Serializer ser;
+  ser.WriteString(instance_id);
+  ser.WriteVarint(seq);
+  return ser.Release();
+}
+
+std::pair<std::string, uint64_t> DecodeBaseHeader(const std::string& blob) {
+  Deserializer de(blob);
+  std::string instance = de.ReadString();
+  const uint64_t seq = de.ReadVarint();
+  return {std::move(instance), seq};
+}
+
+std::string EncodePos(LogPos pos) {
+  Serializer ser;
+  ser.WriteVarint(pos);
+  return ser.Release();
+}
+
+LogPos DecodePos(const std::string& bytes) {
+  Deserializer de(bytes);
+  return de.ReadVarint();
+}
+
+}  // namespace
+
+BaseEngine::BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store,
+                       BaseEngineOptions options)
+    : log_(std::move(log)),
+      store_(store),
+      options_(std::move(options)),
+      cursor_key_("e/base/cursor") {
+  // Instance id: server id plus a random suffix, regenerated per process
+  // incarnation.
+  Rng rng(static_cast<uint64_t>(RealClock::Instance()->NowMicros()) ^
+          Fnv1a64(options_.server_id));
+  instance_id_ = options_.server_id + "#" + rng.String(8);
+}
+
+BaseEngine::~BaseEngine() { Stop(); }
+
+void BaseEngine::RegisterUpcall(IApplicator* applicator) { upcall_ = applicator; }
+
+void BaseEngine::Start() {
+  if (started_.exchange(true)) {
+    return;
+  }
+  // Recover the playback cursor; the log replays everything after it.
+  {
+    ROTxn snapshot = store_->Snapshot();
+    auto cursor = snapshot.Get(cursor_key_);
+    applied_pos_.store(cursor.has_value() ? DecodePos(*cursor) : 0, std::memory_order_release);
+    durable_pos_.store(applied_pos_.load(), std::memory_order_release);
+  }
+  apply_thread_ = std::thread([this] { ApplyThreadMain(); });
+  sync_thread_ = std::thread([this] { SyncThreadMain(); });
+  housekeeping_thread_ = std::thread([this] { HousekeepingThreadMain(); });
+}
+
+void BaseEngine::Stop() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  // Briefly take each mutex so no waiter can miss the flag flip.
+  { std::lock_guard<std::mutex> lock(apply_mu_); }
+  { std::lock_guard<std::mutex> lock(sync_mu_); }
+  apply_cv_.notify_all();
+  applied_cv_.notify_all();
+  sync_cv_.notify_all();
+  if (apply_thread_.joinable()) {
+    apply_thread_.join();
+  }
+  if (sync_thread_.joinable()) {
+    sync_thread_.join();
+  }
+  if (housekeeping_thread_.joinable()) {
+    housekeeping_thread_.join();
+  }
+  // Fail anything still waiting.
+  std::map<uint64_t, Promise<std::any>> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_);
+  }
+  for (auto& [seq, promise] : pending) {
+    promise.SetException(
+        std::make_exception_ptr(LogUnavailableError("engine stopped before apply")));
+  }
+  std::vector<Promise<ROTxn>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    waiters.swap(sync_waiters_);
+  }
+  for (auto& waiter : waiters) {
+    waiter.SetException(std::make_exception_ptr(LogUnavailableError("engine stopped")));
+  }
+}
+
+Future<std::any> BaseEngine::Propose(LogEntry entry) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return MakeErrorFuture<std::any>(
+        std::make_exception_ptr(LogUnavailableError("engine stopped")));
+  }
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  entry.SetHeader(kBaseHeaderName, EngineHeader{kMsgTypeApp, EncodeBaseHeader(instance_id_, seq)});
+  std::string bytes = entry.Serialize();
+
+  Future<std::any> future;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto [it, inserted] = pending_.emplace(seq, Promise<std::any>());
+    future = it->second.GetFuture();
+  }
+  log_->Append(std::move(bytes)).Then([this, seq](Result<LogPos> result) {
+    if (!result.ok()) {
+      std::optional<Promise<std::any>> promise;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(seq);
+        if (it != pending_.end()) {
+          promise.emplace(std::move(it->second));
+          pending_.erase(it);
+        }
+      }
+      if (promise.has_value()) {
+        promise->SetException(result.error());
+      }
+      return;
+    }
+    RequestPlayTo(result.value());
+  });
+  return future;
+}
+
+Future<ROTxn> BaseEngine::Sync() {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return MakeErrorFuture<ROTxn>(std::make_exception_ptr(LogUnavailableError("engine stopped")));
+  }
+  Promise<ROTxn> promise;
+  Future<ROTxn> future = promise.GetFuture();
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    sync_waiters_.push_back(std::move(promise));
+  }
+  sync_cv_.notify_one();
+  return future;
+}
+
+void BaseEngine::SetTrimPrefix(LogPos pos) {
+  trim_allowed_.store(pos, std::memory_order_release);
+}
+
+void BaseEngine::RequestPlayTo(LogPos pos) {
+  {
+    std::lock_guard<std::mutex> lock(apply_mu_);
+    play_target_ = std::max(play_target_, pos);
+  }
+  apply_cv_.notify_all();
+}
+
+bool BaseEngine::WaitForApply(LogPos target) {
+  std::unique_lock<std::mutex> lock(apply_mu_);
+  applied_cv_.wait(lock, [&] {
+    return shutdown_.load() || applied_pos_.load(std::memory_order_acquire) >= target;
+  });
+  return !shutdown_.load();
+}
+
+void BaseEngine::ApplyThreadMain() {
+  while (true) {
+    LogPos target;
+    {
+      std::unique_lock<std::mutex> lock(apply_mu_);
+      apply_cv_.wait(lock, [&] {
+        return shutdown_.load() || play_target_ > applied_pos_.load(std::memory_order_acquire);
+      });
+      if (shutdown_.load()) {
+        return;
+      }
+      target = play_target_;
+    }
+    while (applied_pos_.load(std::memory_order_acquire) < target) {
+      const LogPos lo = applied_pos_.load(std::memory_order_acquire) + 1;
+      const LogPos hi = std::min<LogPos>(target, lo + options_.play_batch_size - 1);
+      std::vector<LogRecord> records;
+      try {
+        records = log_->ReadRange(lo, hi);
+      } catch (const TrimmedError&) {
+        Fatal("playback cursor fell below the trim prefix");
+        return;
+      } catch (const LogUnavailableError&) {
+        if (shutdown_.load()) {
+          return;
+        }
+        RealClock::Instance()->SleepMicros(1000);
+        continue;
+      }
+      if (records.empty()) {
+        break;  // Target beyond the committed tail; more work will arrive.
+      }
+      for (const LogRecord& record : records) {
+        if (shutdown_.load()) {
+          return;
+        }
+        ApplyRecord(record.pos, record.payload);
+      }
+    }
+  }
+}
+
+void BaseEngine::ApplyRecord(LogPos pos, const std::string& payload) {
+  const int64_t start_micros = RealClock::Instance()->NowMicros();
+  LogEntry entry;
+  try {
+    entry = LogEntry::Deserialize(payload);
+  } catch (const SerdeError& e) {
+    Fatal(std::string("corrupt log entry: ") + e.what());
+    return;
+  }
+
+  std::any result;
+  bool apply_threw = false;
+  {
+    RWTxn txn;
+    {
+      static const std::string kBeginTxLabel = "base.beginTX";
+      ApplyProfiler::Scope scope(options_.profiler, kBeginTxLabel);
+      txn = store_->BeginRW();
+    }
+    txn.Put(cursor_key_, EncodePos(pos));
+    {
+      static const std::string kApplyLabel = "base.apply";
+      ApplyProfiler::Scope scope(options_.profiler, kApplyLabel);
+      const Savepoint savepoint = txn.MakeSavepoint();
+      try {
+        if (upcall_ != nullptr) {
+          result = upcall_->Apply(txn, entry, pos);
+        }
+      } catch (const DeterministicError&) {
+        txn.RollbackTo(savepoint);
+        result = ApplyError{std::current_exception()};
+        apply_threw = true;
+      } catch (const std::exception& e) {
+        Fatal(std::string("non-deterministic exception in apply: ") + e.what());
+        return;
+      }
+    }
+    {
+      static const std::string kCommitTxLabel = "base.commitTX";
+      ApplyProfiler::Scope scope(options_.profiler, kCommitTxLabel);
+      try {
+        txn.Commit();
+      } catch (const std::exception& e) {
+        Fatal(std::string("LocalStore commit failed: ") + e.what());
+        return;
+      }
+    }
+  }
+  // postApply runs only when the upcall's apply committed: a layer that
+  // threw directly had all its work rolled back, so it gets no postApply.
+  // (Layers that converted an upstream failure into an ApplyError gate their
+  // own forwarding.)
+  if (!apply_threw && upcall_ != nullptr) {
+    static const std::string kPostApplyLabel = "postApply";
+    ApplyProfiler::Scope scope(options_.profiler, kPostApplyLabel);
+    upcall_->PostApply(entry, pos);
+  }
+
+  // Publish progress before completing the proposer, so that once a propose
+  // returns, applied_position() already covers it.
+  applied_pos_.store(pos, std::memory_order_release);
+  applied_cv_.notify_all();
+
+  // Relay the return value (or exception) to a locally waiting propose.
+  auto header = entry.GetHeader(kBaseHeaderName);
+  if (header.has_value()) {
+    auto [instance, seq] = DecodeBaseHeader(header->blob);
+    if (instance == instance_id_) {
+      std::optional<Promise<std::any>> promise;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(seq);
+        if (it != pending_.end()) {
+          promise.emplace(std::move(it->second));
+          pending_.erase(it);
+        }
+      }
+      if (promise.has_value()) {
+        if (IsApplyError(result)) {
+          promise->SetException(std::any_cast<ApplyError>(result).error);
+        } else {
+          promise->SetValue(std::move(result));
+        }
+      }
+    }
+  }
+
+  const int64_t busy = RealClock::Instance()->NowMicros() - start_micros;
+  busy_micros_.fetch_add(busy, std::memory_order_relaxed);
+  if (options_.profiler != nullptr) {
+    options_.profiler->RecordBusy(busy);
+  }
+}
+
+void BaseEngine::SyncThreadMain() {
+  while (true) {
+    std::vector<Promise<ROTxn>> batch;
+    {
+      std::unique_lock<std::mutex> lock(sync_mu_);
+      sync_cv_.wait(lock, [&] { return shutdown_.load() || !sync_waiters_.empty(); });
+      if (shutdown_.load()) {
+        return;
+      }
+      batch.swap(sync_waiters_);
+    }
+    // One tail check serves the whole batch (§3.2: syncs queue behind a
+    // single outstanding tail check).
+    LogPos tail;
+    try {
+      tail = log_->CheckTail().Get();
+    } catch (const std::exception&) {
+      for (auto& waiter : batch) {
+        waiter.SetException(std::current_exception());
+      }
+      continue;
+    }
+    const LogPos target = (tail == 0) ? 0 : tail - 1;
+    if (target > 0) {
+      RequestPlayTo(target);
+      if (!WaitForApply(target)) {
+        for (auto& waiter : batch) {
+          waiter.SetException(std::make_exception_ptr(LogUnavailableError("engine stopped")));
+        }
+        return;
+      }
+    }
+    ROTxn snapshot = store_->Snapshot();
+    for (auto& waiter : batch) {
+      waiter.SetValue(snapshot);
+    }
+  }
+}
+
+void BaseEngine::HousekeepingThreadMain() {
+  int64_t last_flush = RealClock::Instance()->NowMicros();
+  int64_t last_trim = last_flush;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(apply_mu_);
+      apply_cv_.wait_for(lock, std::chrono::milliseconds(10), [&] { return shutdown_.load(); });
+      if (shutdown_.load()) {
+        return;
+      }
+    }
+    const int64_t now = RealClock::Instance()->NowMicros();
+    if (now - last_flush >= options_.flush_interval_micros) {
+      last_flush = now;
+      FlushNow();
+    }
+    if (now - last_trim >= options_.trim_interval_micros) {
+      last_trim = now;
+      TrimNow();
+    }
+  }
+}
+
+void BaseEngine::FlushNow() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  ROTxn snapshot;
+  try {
+    snapshot = store_->Flush();
+  } catch (const std::exception& e) {
+    Fatal(std::string("LocalStore flush failed: ") + e.what());
+    return;
+  }
+  auto cursor = snapshot.Get(cursor_key_);
+  durable_pos_.store(cursor.has_value() ? DecodePos(*cursor) : 0, std::memory_order_release);
+}
+
+void BaseEngine::TrimNow() {
+  const LogPos allowed = trim_allowed_.load(std::memory_order_acquire);
+  if (allowed == kNoTrimConstraint || allowed == 0) {
+    return;
+  }
+  // Never trim beyond what the local durable checkpoint covers; replay after
+  // a reboot starts from there.
+  const LogPos effective = std::min(allowed, durable_pos_.load(std::memory_order_acquire));
+  if (effective > log_->trim_prefix()) {
+    log_->Trim(effective);
+  }
+}
+
+void BaseEngine::Fatal(const std::string& message) {
+  if (options_.fatal_handler != nullptr) {
+    options_.fatal_handler(message);
+    return;
+  }
+  LOG_FATAL << message;
+}
+
+}  // namespace delos

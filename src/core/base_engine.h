@@ -1,0 +1,131 @@
+// BaseEngine (paper §3.2): the bottom of every stack, implementing the
+// IEngine API directly over a shared log.
+//
+//  * Propose appends the entry and plays the log forward until it; the
+//    future completes with the local Apply's return value — a replicated RPC
+//    that is durable (append committed), failure-atomic (applied inside a
+//    LocalStore transaction), and linearizable (ordered by the log).
+//  * Sync checks the log tail and plays forward to it; multiple syncs
+//    coalesce behind a single outstanding tail check.
+//  * The apply thread is the only LocalStore writer. Each entry gets one
+//    transaction: cursor update + upcall + commit, then postApply.
+//  * Background housekeeping flushes the LocalStore periodically (replay
+//    from the log covers the gap after a crash) and trims the log up to the
+//    prefix allowed by the stack (SetTrimPrefix), clamped to the durable
+//    cursor.
+//  * A deterministic exception from the upcall is rolled back and relayed
+//    to the waiting propose; anything else crashes the server (§3.4). Tests
+//    can intercept the crash with a fatal handler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/core/apply_profiler.h"
+#include "src/core/engine.h"
+
+namespace delos {
+
+struct BaseEngineOptions {
+  std::string server_id = "server0";
+  int64_t flush_interval_micros = 50'000;
+  int64_t trim_interval_micros = 200'000;
+  LogPos play_batch_size = 128;
+  // Optional instrumentation.
+  ApplyProfiler* profiler = nullptr;
+  // Invoked on non-deterministic failure; default aborts the process.
+  std::function<void(const std::string&)> fatal_handler;
+};
+
+class BaseEngine : public IEngine {
+ public:
+  BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store, BaseEngineOptions options);
+  ~BaseEngine() override;
+
+  BaseEngine(const BaseEngine&) = delete;
+  BaseEngine& operator=(const BaseEngine&) = delete;
+
+  // Recovers the cursor from the LocalStore and spawns the apply / sync /
+  // housekeeping threads. The upcall chain must be registered first.
+  void Start();
+  void Stop();
+
+  Future<std::any> Propose(LogEntry entry) override;
+  Future<ROTxn> Sync() override;
+  void RegisterUpcall(IApplicator* applicator) override;
+  void SetTrimPrefix(LogPos pos) override;
+
+  const std::string& server_id() const { return options_.server_id; }
+  LogPos applied_position() const { return applied_pos_.load(std::memory_order_acquire); }
+  // Last log position reflected in a durable LocalStore checkpoint.
+  LogPos durable_position() const { return durable_pos_.load(std::memory_order_acquire); }
+  // Cumulative apply-thread busy time (drives the Figure 8 utilization
+  // bench).
+  int64_t apply_busy_micros() const { return busy_micros_.load(std::memory_order_relaxed); }
+
+  // Forces one flush + durable-position update (tests; production relies on
+  // the periodic housekeeping thread).
+  void FlushNow();
+  // Forces one trim pass (tests).
+  void TrimNow();
+
+  ISharedLog* shared_log() { return log_.get(); }
+  LocalStore* store() { return store_; }
+
+ private:
+  void ApplyThreadMain();
+  void SyncThreadMain();
+  void HousekeepingThreadMain();
+  void ApplyRecord(LogPos pos, const std::string& payload);
+  void RequestPlayTo(LogPos pos);
+  // Blocks until applied_pos_ >= target or shutdown; returns false on
+  // shutdown.
+  bool WaitForApply(LogPos target);
+  void Fatal(const std::string& message);
+
+  std::shared_ptr<ISharedLog> log_;
+  LocalStore* store_;
+  BaseEngineOptions options_;
+  IApplicator* upcall_ = nullptr;
+  // Unique per engine instance so replayed entries from a previous
+  // incarnation of this server never match this incarnation's pending
+  // proposals.
+  std::string instance_id_;
+  std::string cursor_key_;
+
+  std::atomic<LogPos> applied_pos_{0};
+  std::atomic<LogPos> durable_pos_{0};
+  std::atomic<LogPos> trim_allowed_{kNoTrimConstraint};
+  std::atomic<int64_t> busy_micros_{0};
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<bool> started_{false};
+
+  std::atomic<bool> shutdown_{false};
+  std::mutex apply_mu_;
+  std::condition_variable apply_cv_;      // wakes the apply thread
+  std::condition_variable applied_cv_;    // signals playback progress
+  LogPos play_target_ = 0;
+
+  std::mutex pending_mu_;
+  std::map<uint64_t, Promise<std::any>> pending_;
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  std::vector<Promise<ROTxn>> sync_waiters_;
+
+  std::mutex flush_mu_;  // serializes FlushNow with the housekeeping thread
+
+  std::thread apply_thread_;
+  std::thread sync_thread_;
+  std::thread housekeeping_thread_;
+};
+
+}  // namespace delos

@@ -1,0 +1,130 @@
+#include "src/core/cluster.h"
+
+#include "src/common/logging.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos {
+
+ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
+                             std::unique_ptr<LocalStore> store, BaseEngineOptions base_options)
+    : id_(std::move(id)), log_(std::move(log)), store_(std::move(store)) {
+  base_options.server_id = id_;
+  if (base_options.profiler == nullptr) {
+    base_options.profiler = &profiler_;
+  }
+  base_ = std::make_unique<BaseEngine>(log_, store_.get(), std::move(base_options));
+  top_ = base_.get();
+}
+
+ClusterServer::~ClusterServer() {
+  Stop();
+  // Tear the stack down top-first: an engine's destructor may still talk to
+  // the engines below it (e.g. the BatchingEngine flushes its open batch).
+  while (!middle_.empty()) {
+    middle_.pop_back();
+  }
+}
+
+StackableEngine* ClusterServer::FindEngine(const std::string& name) {
+  for (auto& engine : middle_) {
+    if (engine->name() == name) {
+      return engine.get();
+    }
+  }
+  return nullptr;
+}
+
+Cluster::Cluster(Options options, StackBuilder builder)
+    : options_(std::move(options)), builder_(std::move(builder)) {
+  if (options_.log_kind == LogKind::kQuorum) {
+    network_ = std::make_unique<SimNetwork>(options_.net_config);
+    ensemble_ = std::make_unique<QuorumEnsemble>(network_.get(), options_.loglet_config);
+  } else if (options_.log_kind == LogKind::kVirtual) {
+    meta_store_ = std::make_shared<MetaStore>(
+        std::vector<LogletSegment>{{1, std::make_shared<InMemoryLog>(1)}});
+  } else {
+    shared_inmemory_log_ = std::make_shared<InMemoryLog>();
+  }
+  if (!options_.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options_.checkpoint_dir);
+  }
+  for (int i = 0; i < options_.num_servers; ++i) {
+    servers_.push_back(BuildServer(i));
+    servers_.back()->Start();
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& server : servers_) {
+    if (server != nullptr) {
+      server->Stop();
+    }
+  }
+}
+
+std::string Cluster::CheckpointPath(int index) const {
+  if (options_.checkpoint_dir.empty()) {
+    return "";
+  }
+  return options_.checkpoint_dir + "/server" + std::to_string(index) + ".ckpt";
+}
+
+std::unique_ptr<ClusterServer> Cluster::BuildServer(int index) {
+  const std::string id = "server" + std::to_string(index);
+  std::shared_ptr<ISharedLog> log;
+  if (options_.log_kind == LogKind::kQuorum) {
+    log = std::make_shared<QuorumLogletClient>(
+        network_.get(), id, options_.loglet_config,
+        index % std::max(1, options_.loglet_config.num_acceptors));
+  } else if (options_.log_kind == LogKind::kVirtual) {
+    // Per-server VirtualLog client over the shared chain; any client that
+    // races a seal repairs the chain with a fresh loglet.
+    log = std::make_shared<VirtualLog>(
+        meta_store_,
+        [](LogPos start, uint64_t) { return std::make_shared<InMemoryLog>(start); });
+  } else {
+    log = shared_inmemory_log_;
+  }
+  LocalStore::Options store_options;
+  store_options.checkpoint_path = CheckpointPath(index);
+  auto store = LocalStore::Open(store_options);
+  auto server =
+      std::make_unique<ClusterServer>(id, std::move(log), std::move(store), options_.base_options);
+  if (builder_ != nullptr) {
+    builder_(*server);
+  }
+  return server;
+}
+
+void Cluster::ReconfigureLog() {
+  if (meta_store_ == nullptr) {
+    LOG_FATAL << "ReconfigureLog requires LogKind::kVirtual";
+  }
+  VirtualLog driver(meta_store_);
+  driver.Reconfigure(
+      [](LogPos start, uint64_t) { return std::make_shared<InMemoryLog>(start); });
+}
+
+uint64_t Cluster::LogChainLength() const {
+  return meta_store_ != nullptr ? meta_store_->GetChain().size() : 1;
+}
+
+void Cluster::StopServer(int index) {
+  if (servers_[index] != nullptr) {
+    servers_[index]->Stop();
+    servers_[index].reset();
+  }
+}
+
+void Cluster::RestartServer(int index, StackBuilder builder) {
+  StopServer(index);
+  StackBuilder previous = builder_;
+  if (builder != nullptr) {
+    builder_ = builder;
+  }
+  servers_[index] = BuildServer(index);
+  builder_ = previous;
+  servers_[index]->Start();
+}
+
+}  // namespace delos

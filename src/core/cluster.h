@@ -1,0 +1,129 @@
+// Cluster harness: wires N Delos servers over one shared log.
+//
+// Each server owns a LocalStore, a BaseEngine, and a stack of middle
+// engines; the application attaches on top. The harness supports the two
+// log substrates (zero-latency in-memory; quorum-replicated over the
+// simulated network), per-server checkpoint files, and server restart —
+// which exercises recovery-by-replay and, with a stack builder that differs
+// across restarts, rolling upgrades for the two-phase engine insertion
+// protocol.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/base_engine.h"
+#include "src/core/stackable_engine.h"
+#include "src/net/sim_network.h"
+#include "src/sharedlog/quorum_loglet.h"
+#include "src/sharedlog/shared_log.h"
+#include "src/sharedlog/virtual_log.h"
+
+namespace delos {
+
+class ClusterServer {
+ public:
+  ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
+                std::unique_ptr<LocalStore> store, BaseEngineOptions base_options);
+  ~ClusterServer();
+
+  // Constructs a middle engine with (name..., downstream = current top,
+  // store) and pushes it on the stack. Engines must be added bottom-up
+  // before Start().
+  template <typename Engine, typename... Args>
+  Engine* AddEngine(Args&&... args) {
+    auto engine = std::make_unique<Engine>(std::forward<Args>(args)..., top_, store_.get());
+    Engine* raw = engine.get();
+    middle_.push_back(std::move(engine));
+    top_ = raw;
+    return raw;
+  }
+
+  void Start() { base_->Start(); }
+  void Stop() { base_->Stop(); }
+
+  const std::string& id() const { return id_; }
+  IEngine* top() { return top_; }
+  BaseEngine* base() { return base_.get(); }
+  LocalStore* store() { return store_.get(); }
+  ISharedLog* log() { return log_.get(); }
+  ApplyProfiler* profiler() { return &profiler_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  // Finds a middle engine by name (nullptr if absent).
+  StackableEngine* FindEngine(const std::string& name);
+
+ private:
+  friend class Cluster;
+  std::string id_;
+  std::shared_ptr<ISharedLog> log_;
+  std::unique_ptr<LocalStore> store_;
+  ApplyProfiler profiler_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<BaseEngine> base_;
+  std::vector<std::unique_ptr<StackableEngine>> middle_;
+  IEngine* top_;
+};
+
+class Cluster {
+ public:
+  enum class LogKind {
+    kInMemory,  // one shared zero-latency log object
+    kQuorum,    // sequencer + acceptors over the simulated network
+    kVirtual,   // VirtualLog over a sealable loglet chain (reconfigurable)
+  };
+
+  struct Options {
+    int num_servers = 3;
+    LogKind log_kind = LogKind::kInMemory;
+    NetworkConfig net_config;
+    QuorumLogletConfig loglet_config;
+    BaseEngineOptions base_options;  // server_id is overwritten per server
+    // Per-server checkpoint files live here when non-empty (enables restart
+    // with durable-state recovery).
+    std::string checkpoint_dir;
+  };
+
+  // The builder adds this server's middle engines (bottom-up) and attaches
+  // the application; re-invoked when a server restarts.
+  using StackBuilder = std::function<void(ClusterServer& server)>;
+
+  Cluster(Options options, StackBuilder builder);
+  ~Cluster();
+
+  int size() const { return static_cast<int>(servers_.size()); }
+  ClusterServer& server(int index) { return *servers_[index]; }
+
+  // Stops a server and tears it down (simulated crash: volatile state lost;
+  // the checkpoint file, if any, survives).
+  void StopServer(int index);
+  // Rebuilds a stopped server: reopens the store from its checkpoint,
+  // rebuilds the stack via `builder` (or a replacement builder, for rolling
+  // upgrades), and starts it.
+  void RestartServer(int index, StackBuilder builder = nullptr);
+
+  SimNetwork* network() { return network_.get(); }
+  QuorumEnsemble* ensemble() { return ensemble_.get(); }
+
+  // kVirtual only: seals the active loglet and chains a fresh one — the
+  // paper's online consensus-protocol swap, driven while traffic flows.
+  void ReconfigureLog();
+  uint64_t LogChainLength() const;
+
+ private:
+  std::unique_ptr<ClusterServer> BuildServer(int index);
+  std::string CheckpointPath(int index) const;
+
+  Options options_;
+  StackBuilder builder_;
+  std::unique_ptr<SimNetwork> network_;
+  std::unique_ptr<QuorumEnsemble> ensemble_;
+  std::shared_ptr<ISharedLog> shared_inmemory_log_;
+  std::shared_ptr<MetaStore> meta_store_;
+  std::vector<std::unique_ptr<ClusterServer>> servers_;
+};
+
+}  // namespace delos

@@ -1,0 +1,51 @@
+#include "src/core/entry.h"
+
+#include "src/common/serde.h"
+
+namespace delos {
+
+std::string LogEntry::Serialize() const {
+  Serializer ser;
+  ser.WriteMap(
+      headers, [](Serializer& s, const std::string& k) { s.WriteString(k); },
+      [](Serializer& s, const std::string& v) { s.WriteString(v); });
+  ser.WriteString(payload);
+  return ser.Release();
+}
+
+LogEntry LogEntry::Deserialize(std::string_view bytes) {
+  Deserializer de(bytes);
+  LogEntry entry;
+  entry.headers = de.ReadMap<std::string, std::string>(
+      [](Deserializer& d) { return d.ReadString(); },
+      [](Deserializer& d) { return d.ReadString(); });
+  entry.payload = de.ReadString();
+  return entry;
+}
+
+void LogEntry::SetHeader(const std::string& engine, const EngineHeader& header) {
+  Serializer ser;
+  ser.WriteVarint(header.msgtype);
+  ser.WriteString(header.blob);
+  headers[engine] = ser.Release();
+}
+
+std::optional<EngineHeader> LogEntry::GetHeader(const std::string& engine) const {
+  auto it = headers.find(engine);
+  if (it == headers.end()) {
+    return std::nullopt;
+  }
+  Deserializer de(it->second);
+  EngineHeader header;
+  header.msgtype = de.ReadVarint();
+  header.blob = de.ReadString();
+  return header;
+}
+
+LogEntry MakeControlEntry(const std::string& engine, uint64_t msgtype, std::string blob) {
+  LogEntry entry;
+  entry.SetHeader(engine, EngineHeader{msgtype, std::move(blob)});
+  return entry;
+}
+
+}  // namespace delos

@@ -1,0 +1,47 @@
+// LogEntry: the unit that flows down the engine stack into the shared log
+// and back up through apply upcalls.
+//
+// Per §3.4 ("Static Typing"), Delos moved from a literal stack of buffers to
+// a *map of headers* keyed by engine, plus an application payload: an engine
+// checks whether its own header is present and otherwise passes the entry
+// through, which keeps old entries replayable across stack upgrades. Each
+// header carries a message type — kMsgTypeApp marks entries piggybacked on
+// application proposals; any other value marks an engine-generated control
+// command that the engine consumes without forwarding upstream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace delos {
+
+// Message type used by every engine for headers piggybacked on application
+// data. Engine-specific control commands use values >= 1.
+inline constexpr uint64_t kMsgTypeApp = 0;
+
+struct EngineHeader {
+  uint64_t msgtype = kMsgTypeApp;
+  std::string blob;  // engine-specific serialized fields
+};
+
+struct LogEntry {
+  // Engine name -> serialized EngineHeader.
+  std::map<std::string, std::string> headers;
+  // Application payload (opaque to all engines).
+  std::string payload;
+
+  std::string Serialize() const;
+  static LogEntry Deserialize(std::string_view bytes);
+
+  void SetHeader(const std::string& engine, const EngineHeader& header);
+  std::optional<EngineHeader> GetHeader(const std::string& engine) const;
+  bool HasHeader(const std::string& engine) const { return headers.count(engine) != 0; }
+};
+
+// Convenience for engines generating their own control entries.
+LogEntry MakeControlEntry(const std::string& engine, uint64_t msgtype, std::string blob);
+
+}  // namespace delos

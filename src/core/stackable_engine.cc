@@ -1,0 +1,152 @@
+#include "src/core/stackable_engine.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace delos {
+
+StackableEngine::StackableEngine(std::string name, IEngine* downstream, LocalStore* store,
+                                 StackableEngineOptions options)
+    : name_(std::move(name)),
+      apply_label_(name_ + ".apply"),
+      postapply_label_(name_ + ".postApply"),
+      downstream_(downstream),
+      store_(store),
+      options_(options),
+      space_("e/" + name_ + "/"),
+      enabled_key_(space_.Key("enabled")) {
+  // Recover the enabled flag; absent means "configured statically".
+  auto flag = store_->Snapshot().Get(enabled_key_);
+  if (flag.has_value()) {
+    enabled_.store(*flag == "1", std::memory_order_release);
+  } else {
+    enabled_.store(options_.start_enabled, std::memory_order_release);
+  }
+  downstream_->RegisterUpcall(this);
+}
+
+Future<std::any> StackableEngine::Propose(LogEntry entry) {
+  // Even a not-yet-enabled engine may piggyback its header (phase one of the
+  // two-phase insertion protocol); it just must not act on it in apply.
+  OnPropose(&entry);
+  return downstream_->Propose(std::move(entry));
+}
+
+void StackableEngine::SetTrimPrefix(LogPos pos) {
+  upstream_constraint_.store(pos, std::memory_order_release);
+  RelayTrim();
+}
+
+void StackableEngine::SetOwnTrimOpinion(LogPos pos) {
+  own_trim_opinion_.store(pos, std::memory_order_release);
+  RelayTrim();
+}
+
+void StackableEngine::RelayTrim() {
+  downstream_->SetTrimPrefix(std::min(upstream_constraint_.load(std::memory_order_acquire),
+                                      own_trim_opinion_.load(std::memory_order_acquire)));
+}
+
+std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  ApplyProfiler::Scope scope(options_.profiler, apply_label_);
+  upstream_applied_ = false;
+
+  auto header = entry.GetHeader(name_);
+  if (header.has_value() && header->msgtype != kMsgTypeApp) {
+    // Engine-generated control entry: consumed here, never forwarded.
+    if (header->msgtype == kMsgTypeEnable) {
+      txn.Put(enabled_key_, "1");
+      return std::any(Unit{});
+    }
+    if (header->msgtype == kMsgTypeDisable) {
+      txn.Put(enabled_key_, "0");
+      return std::any(Unit{});
+    }
+    if (!enabled()) {
+      return std::any(Unit{});
+    }
+    const Savepoint savepoint = txn.MakeSavepoint();
+    try {
+      return ApplyControl(txn, *header, entry, pos);
+    } catch (const DeterministicError&) {
+      txn.RollbackTo(savepoint);
+      return std::any(ApplyError{std::current_exception()});
+    }
+  }
+
+  // Application data path.
+  if (!enabled()) {
+    return CallUpstream(txn, entry, pos);
+  }
+  const Savepoint savepoint = txn.MakeSavepoint();
+  try {
+    return ApplyData(txn, entry, pos);
+  } catch (const DeterministicError&) {
+    txn.RollbackTo(savepoint);
+    upstream_applied_ = false;
+    return std::any(ApplyError{std::current_exception()});
+  }
+}
+
+std::any StackableEngine::CallUpstream(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  if (upstream_ == nullptr) {
+    upstream_applied_ = true;
+    return std::any(Unit{});
+  }
+  const Savepoint savepoint = txn.MakeSavepoint();
+  try {
+    std::any result = upstream_->Apply(txn, entry, pos);
+    // A returned ApplyError came from a layer further up that the layer
+    // above us already rolled back; the layer above us still applied.
+    upstream_applied_ = true;
+    return result;
+  } catch (const DeterministicError&) {
+    txn.RollbackTo(savepoint);
+    upstream_applied_ = false;
+    return std::any(ApplyError{std::current_exception()});
+  }
+}
+
+void StackableEngine::PostApply(const LogEntry& entry, LogPos pos) {
+  ApplyProfiler::Scope scope(options_.profiler, postapply_label_);
+  auto header = entry.GetHeader(name_);
+  if (header.has_value() && header->msgtype != kMsgTypeApp) {
+    if (header->msgtype == kMsgTypeEnable) {
+      enabled_.store(true, std::memory_order_release);
+      LOG_INFO << "engine " << name_ << " enabled via log at pos " << pos;
+      return;
+    }
+    if (header->msgtype == kMsgTypeDisable) {
+      enabled_.store(false, std::memory_order_release);
+      LOG_INFO << "engine " << name_ << " disabled via log at pos " << pos;
+      return;
+    }
+    if (enabled()) {
+      PostApplyControl(*header, entry, pos);
+    }
+    return;
+  }
+  if (enabled()) {
+    PostApplyData(entry, pos);
+  } else {
+    ForwardPostApply(entry, pos);
+  }
+}
+
+void StackableEngine::ForwardPostApply(const LogEntry& entry, LogPos pos) {
+  if (upstream_ != nullptr && upstream_applied_) {
+    upstream_->PostApply(entry, pos);
+  }
+}
+
+Future<std::any> StackableEngine::ProposeControl(uint64_t msgtype, std::string blob) {
+  LogEntry entry = MakeControlEntry(name_, msgtype, std::move(blob));
+  return downstream_->Propose(std::move(entry));
+}
+
+void StackableEngine::EnableViaLog() { ProposeControl(kMsgTypeEnable, "").Get(); }
+
+void StackableEngine::DisableViaLog() { ProposeControl(kMsgTypeDisable, "").Get(); }
+
+}  // namespace delos

@@ -1,0 +1,133 @@
+// StackableEngine: common machinery for middle engines (§3.3, §3.4).
+//
+// A middle engine implements IEngine over the engine below it and registers
+// itself as that engine's applicator. This base class provides:
+//  * Header dispatch: an engine processes an entry only if its own header is
+//    present; control entries (msgtype != kMsgTypeApp) are consumed without
+//    being forwarded upstream.
+//  * Nested sub-transactions: CallUpstream wraps the upstream apply in a
+//    savepoint and converts a deterministic exception into an ApplyError
+//    value after rolling the savepoint back, preserving this layer's writes.
+//  * The two-phase dynamic-update protocol: every engine has an `enabled`
+//    flag stored in the LocalStore that can only be toggled by a control
+//    command through the log. A disabled engine piggybacks headers and
+//    passes entries through but performs no state mutation in apply.
+//  * Trim relay: each engine tracks the constraint relayed from above and
+//    its own opinion, and forwards the minimum (§3.3).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/core/apply_profiler.h"
+#include "src/core/engine.h"
+
+namespace delos {
+
+// Control message types handled by StackableEngine itself. Engine-specific
+// control types must be in [1, 999].
+inline constexpr uint64_t kMsgTypeEnable = 1000;
+inline constexpr uint64_t kMsgTypeDisable = 1001;
+
+struct StackableEngineOptions {
+  ApplyProfiler* profiler = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  // Initial enabled state when the LocalStore has no recorded flag (i.e. the
+  // engine has always been part of this deployment's stack). Two-phase
+  // insertion deploys with false and enables via the log.
+  bool start_enabled = true;
+};
+
+class StackableEngine : public IEngine, public IApplicator {
+ public:
+  // Registers itself as `downstream`'s applicator.
+  StackableEngine(std::string name, IEngine* downstream, LocalStore* store,
+                  StackableEngineOptions options = StackableEngineOptions{});
+
+  // IEngine. Subclasses override Propose when they do more than piggyback
+  // (e.g. batching, session retries).
+  Future<std::any> Propose(LogEntry entry) override;
+  Future<ROTxn> Sync() override { return downstream_->Sync(); }
+  void RegisterUpcall(IApplicator* applicator) override { upstream_ = applicator; }
+  void SetTrimPrefix(LogPos pos) override;
+
+  // IApplicator (final: subclasses hook ApplyData / ApplyControl / ...).
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) final;
+  void PostApply(const LogEntry& entry, LogPos pos) final;
+
+  // Toggles the engine through the log (blocking). Phase two of insertion /
+  // phase one of removal in the dynamic-update protocol.
+  void EnableViaLog();
+  void DisableViaLog();
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  // Piggybacks this engine's header on an outgoing application proposal.
+  // Default: none (the entry passes through untouched).
+  virtual void OnPropose(LogEntry* entry) {}
+
+  // Applies an application (data) entry while enabled. Default: pass
+  // upstream. Overrides typically process their own header, mutate state
+  // under space_, and then CallUpstream.
+  virtual std::any ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+    return CallUpstream(txn, entry, pos);
+  }
+
+  // Applies an engine-generated control entry while enabled. The entry is
+  // not forwarded upstream. Default: nothing.
+  virtual std::any ApplyControl(RWTxn& txn, const EngineHeader& header, const LogEntry& entry,
+                                LogPos pos) {
+    return std::any(Unit{});
+  }
+
+  // Post-apply hooks (soft state only; the transaction has committed).
+  virtual void PostApplyData(const LogEntry& entry, LogPos pos) { ForwardPostApply(entry, pos); }
+  virtual void PostApplyControl(const EngineHeader& header, const LogEntry& entry, LogPos pos) {}
+
+  // Invokes the upstream apply inside a nested sub-transaction; converts a
+  // deterministic throw into an ApplyError value after rolling it back.
+  std::any CallUpstream(RWTxn& txn, const LogEntry& entry, LogPos pos);
+
+  // Forwards postApply upstream iff the upstream apply for this entry ran
+  // (i.e. was not filtered and did not throw directly).
+  void ForwardPostApply(const LogEntry& entry, LogPos pos);
+
+  // Proposes an engine-generated control entry down the stack.
+  Future<std::any> ProposeControl(uint64_t msgtype, std::string blob);
+
+  // Updates this engine's own opinion of the trimmable prefix and relays
+  // min(upstream constraint, own opinion) downstream.
+  void SetOwnTrimOpinion(LogPos pos);
+
+  IEngine* downstream() { return downstream_; }
+  IApplicator* upstream() { return upstream_; }
+  LocalStore* store() { return store_; }
+  const Keyspace& space() const { return space_; }
+  ApplyProfiler* profiler() { return options_.profiler; }
+  MetricsRegistry* metrics() { return options_.metrics; }
+
+ private:
+  void RelayTrim();
+
+  std::string name_;
+  // Precomputed profiler labels (hot-path Scope takes a reference).
+  std::string apply_label_;
+  std::string postapply_label_;
+  IEngine* downstream_;
+  LocalStore* store_;
+  StackableEngineOptions options_;
+  Keyspace space_;
+  std::string enabled_key_;
+  IApplicator* upstream_ = nullptr;
+  std::atomic<bool> enabled_{true};
+  std::atomic<LogPos> upstream_constraint_{kNoTrimConstraint};
+  std::atomic<LogPos> own_trim_opinion_{kNoTrimConstraint};
+  // Per-entry flag (apply thread only): did the upstream apply run for the
+  // entry currently being applied?
+  bool upstream_applied_ = false;
+};
+
+}  // namespace delos

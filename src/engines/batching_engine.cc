@@ -1,0 +1,150 @@
+#include "src/engines/batching_engine.h"
+
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+constexpr char kEngineName[] = "batching";
+
+StackableEngineOptions MakeStackOptions(const BatchingEngine::Options& options) {
+  StackableEngineOptions stack_options;
+  stack_options.metrics = options.metrics;
+  stack_options.profiler = options.profiler;
+  stack_options.start_enabled = options.start_enabled;
+  return stack_options;
+}
+
+std::string EncodeBatch(const std::vector<LogEntry>& entries) {
+  Serializer ser;
+  ser.WriteVarint(entries.size());
+  for (const LogEntry& entry : entries) {
+    ser.WriteString(entry.Serialize());
+  }
+  return ser.Release();
+}
+
+std::vector<LogEntry> DecodeBatch(const std::string& blob) {
+  Deserializer de(blob);
+  const uint64_t count = de.ReadVarint();
+  std::vector<LogEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    entries.push_back(LogEntry::Deserialize(de.ReadString()));
+  }
+  return entries;
+}
+
+}  // namespace
+
+BatchingEngine::BatchingEngine(Options options, IEngine* downstream, LocalStore* store)
+    : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
+      options_(options) {}
+
+BatchingEngine::~BatchingEngine() {
+  // Flush whatever is pending so waiters are not left hanging.
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!batch_entries_.empty()) {
+    FlushLocked(lock);
+  }
+}
+
+Future<std::any> BatchingEngine::Propose(LogEntry entry) {
+  if (!enabled()) {
+    return downstream()->Propose(std::move(entry));
+  }
+  auto promise = std::make_shared<Promise<std::any>>();
+  Future<std::any> future = promise->GetFuture();
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_entries_.push_back(std::move(entry));
+  batch_waiters_.push_back(Waiter{promise});
+  if (batch_entries_.size() >= options_.max_batch_entries) {
+    FlushLocked(lock);
+    return future;
+  }
+  if (batch_entries_.size() == 1) {
+    // First entry of a new batch: arm the delay timer.
+    const uint64_t ticket = batch_ticket_;
+    scheduler_.Schedule(options_.max_delay_micros, [this, ticket] {
+      std::unique_lock<std::mutex> timer_lock(mu_);
+      if (batch_ticket_ == ticket && !batch_entries_.empty()) {
+        FlushLocked(timer_lock);
+      }
+    });
+  }
+  return future;
+}
+
+void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
+  std::vector<LogEntry> entries;
+  std::vector<Waiter> waiters;
+  entries.swap(batch_entries_);
+  waiters.swap(batch_waiters_);
+  batch_ticket_ += 1;
+  lock.unlock();
+
+  batches_proposed_.fetch_add(1, std::memory_order_relaxed);
+  entries_batched_.fetch_add(entries.size(), std::memory_order_relaxed);
+
+  LogEntry batch = MakeControlEntry(name(), kMsgTypeBatch, EncodeBatch(entries));
+  downstream()
+      ->Propose(std::move(batch))
+      .Then([waiters = std::move(waiters)](Result<std::any> result) {
+        if (!result.ok()) {
+          for (const Waiter& waiter : waiters) {
+            waiter.promise->SetException(result.error());
+          }
+          return;
+        }
+        // The batch apply returned one result per sub-entry.
+        const auto& results = std::any_cast<const std::vector<std::any>&>(result.value());
+        for (size_t i = 0; i < waiters.size(); ++i) {
+          if (i >= results.size()) {
+            waiters[i].promise->SetException(std::make_exception_ptr(
+                DelosError("batch result missing for sub-entry")));
+            continue;
+          }
+          if (IsApplyError(results[i])) {
+            waiters[i].promise->SetException(std::any_cast<ApplyError>(results[i]).error);
+          } else {
+            waiters[i].promise->SetValue(results[i]);
+          }
+        }
+      });
+  lock.lock();
+}
+
+std::any BatchingEngine::ApplyControl(RWTxn& txn, const EngineHeader& header,
+                                      const LogEntry& entry, LogPos pos) {
+  if (header.msgtype != kMsgTypeBatch) {
+    return std::any(Unit{});
+  }
+  // Group commit: every sub-entry applies within this one transaction.
+  applying_batch_ = DecodeBatch(header.blob);
+  applying_ok_.assign(applying_batch_.size(), false);
+  std::vector<std::any> results;
+  results.reserve(applying_batch_.size());
+  for (size_t i = 0; i < applying_batch_.size(); ++i) {
+    std::any result = CallUpstream(txn, applying_batch_[i], pos);
+    applying_ok_[i] = !IsApplyError(result);
+    results.push_back(std::move(result));
+  }
+  return std::any(std::move(results));
+}
+
+void BatchingEngine::PostApplyControl(const EngineHeader& header, const LogEntry& entry,
+                                      LogPos pos) {
+  if (header.msgtype != kMsgTypeBatch || upstream() == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < applying_batch_.size(); ++i) {
+    if (applying_ok_[i]) {
+      upstream()->PostApply(applying_batch_[i], pos);
+    }
+  }
+  applying_batch_.clear();
+  applying_ok_.clear();
+}
+
+}  // namespace delos

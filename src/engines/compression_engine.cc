@@ -1,0 +1,64 @@
+#include "src/engines/compression_engine.h"
+
+#include "src/common/compress.h"
+
+namespace delos {
+
+namespace {
+
+constexpr char kEngineName[] = "compression";
+
+StackableEngineOptions MakeStackOptions(const CompressionEngine::Options& options) {
+  StackableEngineOptions stack_options;
+  stack_options.metrics = options.metrics;
+  stack_options.profiler = options.profiler;
+  stack_options.start_enabled = options.start_enabled;
+  return stack_options;
+}
+
+}  // namespace
+
+CompressionEngine::CompressionEngine(Options options, IEngine* downstream, LocalStore* store)
+    : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
+      options_(options) {}
+
+void CompressionEngine::OnPropose(LogEntry* entry) {
+  if (!enabled() || entry->payload.size() < options_.min_payload_bytes) {
+    entry->SetHeader(name(), EngineHeader{kMsgTypeApp, "0"});
+    return;
+  }
+  std::string compressed = Compress(entry->payload);
+  bytes_in_.fetch_add(entry->payload.size(), std::memory_order_relaxed);
+  if (compressed.size() >= entry->payload.size()) {
+    // Incompressible: ship the original (still counts toward the ratio).
+    bytes_out_.fetch_add(entry->payload.size(), std::memory_order_relaxed);
+    entry->SetHeader(name(), EngineHeader{kMsgTypeApp, "0"});
+    return;
+  }
+  bytes_out_.fetch_add(compressed.size(), std::memory_order_relaxed);
+  entry->payload = std::move(compressed);
+  entry->SetHeader(name(), EngineHeader{kMsgTypeApp, "1"});
+}
+
+std::any CompressionEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  forwarded_decompressed_ = false;
+  auto header = entry.GetHeader(name());
+  if (!header.has_value() || header->blob != "1") {
+    return CallUpstream(txn, entry, pos);
+  }
+  // Restore the payload; the layers above see the original entry.
+  decompressed_entry_ = entry;
+  decompressed_entry_.payload = Decompress(entry.payload);
+  forwarded_decompressed_ = true;
+  return CallUpstream(txn, decompressed_entry_, pos);
+}
+
+void CompressionEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
+  if (forwarded_decompressed_) {
+    ForwardPostApply(decompressed_entry_, pos);
+  } else {
+    ForwardPostApply(entry, pos);
+  }
+}
+
+}  // namespace delos

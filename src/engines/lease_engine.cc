@@ -1,0 +1,264 @@
+#include "src/engines/lease_engine.h"
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+constexpr char kEngineName[] = "lease";
+
+StackableEngineOptions MakeStackOptions(const LeaseEngine::Options& options) {
+  StackableEngineOptions stack_options;
+  stack_options.metrics = options.metrics;
+  stack_options.profiler = options.profiler;
+  stack_options.start_enabled = options.start_enabled;
+  return stack_options;
+}
+
+std::string EncodeExpire(uint64_t epoch, uint64_t renewal_seq) {
+  Serializer ser;
+  ser.WriteVarint(epoch);
+  ser.WriteVarint(renewal_seq);
+  return ser.Release();
+}
+
+}  // namespace
+
+std::string LeaseEngine::LeaseState::Encode() const {
+  Serializer ser;
+  ser.WriteString(holder);
+  ser.WriteVarint(epoch);
+  ser.WriteVarint(renewal_seq);
+  return ser.Release();
+}
+
+LeaseEngine::LeaseState LeaseEngine::LeaseState::Decode(std::string_view bytes) {
+  Deserializer de(bytes);
+  LeaseState state;
+  state.holder = de.ReadString();
+  state.epoch = de.ReadVarint();
+  state.renewal_seq = de.ReadVarint();
+  return state;
+}
+
+LeaseEngine::LeaseEngine(Options options, IEngine* downstream, LocalStore* store)
+    : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : RealClock::Instance()) {
+  if (options_.auto_renew) {
+    renew_thread_ = std::thread([this] { RenewLoopMain(); });
+  }
+}
+
+LeaseEngine::~LeaseEngine() {
+  shutdown_.store(true, std::memory_order_release);
+  if (renew_thread_.joinable()) {
+    renew_thread_.join();
+  }
+}
+
+LeaseEngine::LeaseState LeaseEngine::ReadState(RWTxn& txn) const {
+  auto self = const_cast<LeaseEngine*>(this);
+  auto bytes = txn.Get(self->space().Key("state"));
+  return bytes.has_value() ? LeaseState::Decode(*bytes) : LeaseState{};
+}
+
+LeaseEngine::LeaseState LeaseEngine::ReadStateSnapshot() const {
+  auto self = const_cast<LeaseEngine*>(this);
+  auto bytes = self->store()->Snapshot().Get(self->space().Key("state"));
+  return bytes.has_value() ? LeaseState::Decode(*bytes) : LeaseState{};
+}
+
+Future<std::any> LeaseEngine::AcquireLease() {
+  Serializer ser;
+  ser.WriteString(options_.server_id);
+  return ProposeControl(kMsgTypeAcquire, ser.Release());
+}
+
+bool LeaseEngine::HoldsValidLease() const {
+  std::lock_guard<std::mutex> lock(soft_mu_);
+  return held_by_self_ && clock_->NowMicros() < valid_until_micros_;
+}
+
+std::string LeaseEngine::CurrentHolder() const { return ReadStateSnapshot().holder; }
+
+Future<ROTxn> LeaseEngine::Sync() {
+  if (enabled() && HoldsValidLease()) {
+    // 0-RTT strongly consistent read: every completed write was proposed by
+    // us (others are rejected at apply) and is already in our local store.
+    return MakeReadyFuture<ROTxn>(store()->Snapshot());
+  }
+  return downstream()->Sync();
+}
+
+void LeaseEngine::OnPropose(LogEntry* entry) {
+  // Stamp the proposer; apply uses it to enforce the designated proposer.
+  Serializer ser;
+  ser.WriteString(options_.server_id);
+  entry->SetHeader(name(), EngineHeader{kMsgTypeApp, ser.Release()});
+}
+
+Future<std::any> LeaseEngine::Propose(LogEntry entry) {
+  if (enabled()) {
+    const LeaseState state = ReadStateSnapshot();
+    if (!state.holder.empty() && state.holder != options_.server_id) {
+      // Fast local fail (the apply-side check is authoritative).
+      return MakeErrorFuture<std::any>(std::make_exception_ptr(ProposeRejectedError(
+          "lease held by " + state.holder + "; proposals must go through the holder")));
+    }
+  }
+  return StackableEngine::Propose(std::move(entry));
+}
+
+std::any LeaseEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  const LeaseState state = ReadState(txn);
+  if (!state.holder.empty()) {
+    auto header = entry.GetHeader(name());
+    if (header.has_value()) {
+      Deserializer de(header->blob);
+      const std::string proposer = de.ReadString();
+      if (proposer != state.holder) {
+        // Deterministic rejection on every replica: the entry is filtered
+        // and the proposer's propose gets an exception.
+        return std::any(ApplyError{std::make_exception_ptr(
+            ProposeRejectedError("lease held by " + state.holder))});
+      }
+    }
+  }
+  return CallUpstream(txn, entry, pos);
+}
+
+std::any LeaseEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const LogEntry& entry,
+                                   LogPos pos) {
+  just_acquired_self_ = false;
+  just_renewed_self_ = false;
+  const std::string state_key = space().Key("state");
+
+  if (header.msgtype == kMsgTypeAcquire) {
+    Deserializer de(header.blob);
+    const std::string requester = de.ReadString();
+    LeaseState state = ReadState(txn);
+    if (state.holder.empty()) {
+      state.holder = requester;
+      state.epoch += 1;
+      state.renewal_seq += 1;
+      txn.Put(state_key, state.Encode());
+      if (requester == options_.server_id) {
+        just_acquired_self_ = true;
+      }
+      return std::any(true);
+    }
+    if (state.holder == requester) {
+      state.renewal_seq += 1;
+      txn.Put(state_key, state.Encode());
+      if (requester == options_.server_id) {
+        just_renewed_self_ = true;
+      }
+      return std::any(true);
+    }
+    return std::any(false);
+  }
+
+  if (header.msgtype == kMsgTypeExpire) {
+    Deserializer de(header.blob);
+    const uint64_t epoch = de.ReadVarint();
+    const uint64_t renewal_seq = de.ReadVarint();
+    LeaseState state = ReadState(txn);
+    if (!state.holder.empty() && state.epoch == epoch && state.renewal_seq == renewal_seq) {
+      // No renewal since the expirer's observation: free the lease.
+      LOG_INFO << "lease: holder " << state.holder << " expired (epoch " << epoch << ")";
+      state.holder.clear();
+      txn.Put(state_key, state.Encode());
+      return std::any(true);
+    }
+    return std::any(false);
+  }
+  return std::any(Unit{});
+}
+
+void LeaseEngine::PostApplyControl(const EngineHeader& header, const LogEntry& entry,
+                                   LogPos pos) {
+  const LeaseState state = ReadStateSnapshot();
+  std::lock_guard<std::mutex> lock(soft_mu_);
+  const int64_t now = clock_->NowMicros();
+  observed_epoch_ = state.epoch;
+  observed_renewal_seq_ = state.renewal_seq;
+  observed_holder_ = state.holder;
+  observed_at_micros_ = now;
+  if (just_acquired_self_ || just_renewed_self_) {
+    held_by_self_ = true;
+    valid_until_micros_ = now + options_.lease_ttl_micros - options_.guard_epsilon_micros;
+    just_acquired_self_ = false;
+    just_renewed_self_ = false;
+  } else if (state.holder != options_.server_id) {
+    held_by_self_ = false;
+    valid_until_micros_ = 0;
+  }
+}
+
+bool LeaseEngine::TryTakeover() {
+  // Wait until the last-applied renewal is stale on our clock, then expire
+  // and acquire.
+  uint64_t epoch;
+  uint64_t renewal_seq;
+  std::string holder;
+  int64_t observed_at;
+  {
+    std::lock_guard<std::mutex> lock(soft_mu_);
+    epoch = observed_epoch_;
+    renewal_seq = observed_renewal_seq_;
+    holder = observed_holder_;
+    observed_at = observed_at_micros_;
+  }
+  if (holder.empty()) {
+    try {
+      return std::any_cast<bool>(AcquireLease().Get());
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  if (holder == options_.server_id) {
+    return true;
+  }
+  const int64_t patience = options_.lease_ttl_micros + options_.guard_epsilon_micros;
+  while (clock_->NowMicros() - observed_at < patience) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(soft_mu_);
+      if (observed_renewal_seq_ != renewal_seq || observed_epoch_ != epoch) {
+        return false;  // The holder renewed; takeover aborted.
+      }
+    }
+    RealClock::Instance()->SleepMicros(1000);
+  }
+  try {
+    ProposeControl(kMsgTypeExpire, EncodeExpire(epoch, renewal_seq)).Get();
+    return std::any_cast<bool>(AcquireLease().Get());
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void LeaseEngine::RenewLoopMain() {
+  const int64_t interval = std::max<int64_t>(options_.lease_ttl_micros / 3, 1000);
+  int64_t last_renew = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    const int64_t now = clock_->NowMicros();
+    bool should_renew = false;
+    {
+      std::lock_guard<std::mutex> lock(soft_mu_);
+      should_renew = held_by_self_ && (now - last_renew >= interval);
+    }
+    if (should_renew && enabled()) {
+      last_renew = now;
+      AcquireLease();  // Renewal; fire and forget.
+    }
+    RealClock::Instance()->SleepMicros(1000);
+  }
+}
+
+}  // namespace delos

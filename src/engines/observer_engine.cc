@@ -1,0 +1,41 @@
+#include "src/engines/observer_engine.h"
+
+#include "src/common/clock.h"
+
+namespace delos {
+
+namespace {
+
+StackableEngineOptions MakeStackOptions(const ObserverEngine::Options& options) {
+  StackableEngineOptions stack_options;
+  stack_options.metrics = options.metrics;
+  stack_options.profiler = options.profiler;
+  return stack_options;
+}
+
+}  // namespace
+
+ObserverEngine::ObserverEngine(Options options, IEngine* downstream, LocalStore* store)
+    : StackableEngine("observer-" + options.label, downstream, store, MakeStackOptions(options)),
+      propose_hist_(options.metrics->GetHistogram(options.label + ".propose.latency_us")),
+      sync_hist_(options.metrics->GetHistogram(options.label + ".sync.latency_us")) {}
+
+Future<std::any> ObserverEngine::Propose(LogEntry entry) {
+  const int64_t start = RealClock::Instance()->NowMicros();
+  Future<std::any> future = downstream()->Propose(std::move(entry));
+  future.Then([hist = propose_hist_, start](const Result<std::any>&) {
+    hist->Record(RealClock::Instance()->NowMicros() - start);
+  });
+  return future;
+}
+
+Future<ROTxn> ObserverEngine::Sync() {
+  const int64_t start = RealClock::Instance()->NowMicros();
+  Future<ROTxn> future = downstream()->Sync();
+  future.Then([hist = sync_hist_, start](const Result<ROTxn>&) {
+    hist->Record(RealClock::Instance()->NowMicros() - start);
+  });
+  return future;
+}
+
+}  // namespace delos

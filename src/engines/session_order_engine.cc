@@ -1,0 +1,197 @@
+#include "src/engines/session_order_engine.h"
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+constexpr char kEngineName[] = "sessionorder";
+
+StackableEngineOptions MakeStackOptions(const SessionOrderEngine::Options& options) {
+  StackableEngineOptions stack_options;
+  stack_options.metrics = options.metrics;
+  stack_options.profiler = options.profiler;
+  stack_options.start_enabled = options.start_enabled;
+  return stack_options;
+}
+
+std::string EncodeSessionHeader(const std::string& session, uint64_t seq) {
+  Serializer ser;
+  ser.WriteString(session);
+  ser.WriteVarint(seq);
+  return ser.Release();
+}
+
+std::pair<std::string, uint64_t> DecodeSessionHeader(const std::string& blob) {
+  Deserializer de(blob);
+  std::string session = de.ReadString();
+  const uint64_t seq = de.ReadVarint();
+  return {std::move(session), seq};
+}
+
+std::string EncodeSeq(uint64_t seq) {
+  Serializer ser;
+  ser.WriteVarint(seq);
+  return ser.Release();
+}
+
+uint64_t DecodeSeq(const std::string& bytes) {
+  Deserializer de(bytes);
+  return de.ReadVarint();
+}
+
+}  // namespace
+
+SessionOrderEngine::SessionOrderEngine(Options options, IEngine* downstream, LocalStore* store)
+    : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
+      options_(std::move(options)) {
+  Rng rng(static_cast<uint64_t>(RealClock::Instance()->NowMicros()) ^
+          Fnv1a64(options_.server_id) ^ 0x5e55104uLL);
+  session_id_ = options_.server_id + "#" + rng.String(8);
+}
+
+Future<std::any> SessionOrderEngine::Propose(LogEntry entry) {
+  if (!enabled()) {
+    return downstream()->Propose(std::move(entry));
+  }
+  auto promise = std::make_shared<Promise<std::any>>();
+  Future<std::any> future = promise->GetFuture();
+  LogEntry stamped;
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    seq = next_seq_++;
+    entry.SetHeader(name(), EngineHeader{kMsgTypeApp, EncodeSessionHeader(session_id_, seq)});
+    stamped = entry;
+    pending_.emplace(seq, PendingPropose{entry, promise});
+  }
+  // The sub-stack's return value is ignored: this propose is completed from
+  // postApply when its sequence number applies in order. Only a hard append
+  // failure is relayed.
+  downstream()->Propose(std::move(stamped)).Then([promise, this, seq](Result<std::any> result) {
+    if (result.ok()) {
+      return;
+    }
+    std::shared_ptr<Promise<std::any>> to_fail;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(seq);
+      if (it != pending_.end()) {
+        to_fail = it->second.promise;
+        pending_.erase(it);
+      }
+    }
+    if (to_fail != nullptr) {
+      to_fail->SetException(result.error());
+    }
+  });
+  return future;
+}
+
+std::any SessionOrderEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  last_outcome_ = Outcome::kNone;
+  last_was_ours_ = false;
+  last_result_ = std::any();
+
+  auto header = entry.GetHeader(name());
+  if (!header.has_value()) {
+    // Entry from a stack iteration without this engine: pass through.
+    return CallUpstream(txn, entry, pos);
+  }
+  auto [session, seq] = DecodeSessionHeader(header->blob);
+  last_was_ours_ = (session == session_id_);
+  last_seq_ = seq;
+
+  const std::string next_key = space().Key("next/" + session);
+  auto stored = txn.Get(next_key);
+  const uint64_t expected = stored.has_value() ? DecodeSeq(*stored) : 1;
+
+  if (seq == expected) {
+    txn.Put(next_key, EncodeSeq(seq + 1));
+    last_outcome_ = Outcome::kApplied;
+    std::any result = CallUpstream(txn, entry, pos);
+    if (last_was_ours_) {
+      last_result_ = result;
+    }
+    return result;
+  }
+  if (seq < expected) {
+    // Duplicate from a re-propose: filtered — exactly-once semantics.
+    duplicates_filtered_.fetch_add(1, std::memory_order_relaxed);
+    last_outcome_ = Outcome::kDuplicate;
+    return std::any(Unit{});
+  }
+  // Gap: the log reordered this session's entries. Filter; the proposer
+  // re-proposes everything from `expected` on.
+  disorder_events_.fetch_add(1, std::memory_order_relaxed);
+  last_outcome_ = Outcome::kGap;
+  return std::any(Unit{});
+}
+
+void SessionOrderEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
+  switch (last_outcome_) {
+    case Outcome::kApplied:
+      if (last_was_ours_) {
+        // Short-circuit: notify the waiting propose directly.
+        std::shared_ptr<Promise<std::any>> promise;
+        {
+          std::lock_guard<std::mutex> lock(pending_mu_);
+          auto it = pending_.find(last_seq_);
+          if (it != pending_.end()) {
+            promise = it->second.promise;
+            pending_.erase(it);
+          }
+        }
+        if (promise != nullptr) {
+          if (IsApplyError(last_result_)) {
+            promise->SetException(std::any_cast<ApplyError>(last_result_).error);
+          } else {
+            promise->SetValue(last_result_);
+          }
+        }
+      }
+      break;
+    case Outcome::kGap:
+      if (last_was_ours_) {
+        // Our own entry arrived out of order: re-propose the whole pending
+        // window starting at the gap, with original sequence numbers.
+        ReproposeFrom(0);
+      }
+      break;
+    case Outcome::kDuplicate:
+    case Outcome::kNone:
+      break;
+  }
+  last_outcome_ = Outcome::kNone;
+  ForwardPostApply(entry, pos);
+}
+
+void SessionOrderEngine::ReproposeFrom(uint64_t first_seq) {
+  std::vector<LogEntry> to_repropose;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (const auto& [seq, pending] : pending_) {
+      if (seq >= first_seq) {
+        to_repropose.push_back(pending.stamped_entry);
+      }
+    }
+  }
+  LOG_DEBUG << "sessionorder: re-proposing " << to_repropose.size() << " entries after disorder";
+  for (LogEntry& entry : to_repropose) {
+    downstream()->Propose(std::move(entry));
+  }
+}
+
+uint64_t SessionOrderEngine::disorder_events() const {
+  return disorder_events_.load(std::memory_order_relaxed);
+}
+
+uint64_t SessionOrderEngine::duplicates_filtered() const {
+  return duplicates_filtered_.load(std::memory_order_relaxed);
+}
+
+}  // namespace delos

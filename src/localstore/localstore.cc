@@ -1,0 +1,407 @@
+#include "src/localstore/localstore.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+// Smallest string strictly greater than every string with the given prefix,
+// or empty (= unbounded) if no such string exists.
+std::string PrefixUpperBound(std::string_view prefix) {
+  std::string upper(prefix);
+  while (!upper.empty()) {
+    auto& back = reinterpret_cast<unsigned char&>(upper.back());
+    if (back != 0xff) {
+      ++back;
+      return upper;
+    }
+    upper.pop_back();
+  }
+  return upper;
+}
+
+constexpr std::string_view kCheckpointMagic = "DLSC1";
+
+}  // namespace
+
+namespace internal {
+
+SnapshotHandle::SnapshotHandle(LocalStore* store, uint64_t version)
+    : store_(store), version_(version) {
+  store_->RegisterSnapshot(version_);
+}
+
+SnapshotHandle::~SnapshotHandle() { store_->UnregisterSnapshot(version_); }
+
+}  // namespace internal
+
+// --- ROTxn ---
+
+std::optional<std::string> ROTxn::Get(std::string_view key) const {
+  LocalStore* store = handle_->store();
+  std::shared_lock<std::shared_mutex> lock(store->data_mu_);
+  auto it = store->data_.find(key);
+  if (it == store->data_.end()) {
+    return std::nullopt;
+  }
+  return LocalStore::ValueAt(it->second, version());
+}
+
+void ROTxn::Scan(std::string_view start, std::string_view end,
+                 const std::function<bool(std::string_view, std::string_view)>& fn) const {
+  LocalStore* store = handle_->store();
+  std::shared_lock<std::shared_mutex> lock(store->data_mu_);
+  for (auto it = store->data_.lower_bound(start); it != store->data_.end(); ++it) {
+    if (!end.empty() && it->first >= end) {
+      break;
+    }
+    auto value = LocalStore::ValueAt(it->second, version());
+    if (value.has_value()) {
+      if (!fn(it->first, *value)) {
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> ROTxn::ScanPrefix(std::string_view prefix,
+                                                                   size_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  Scan(prefix, PrefixUpperBound(prefix), [&](std::string_view key, std::string_view value) {
+    out.emplace_back(std::string(key), std::string(value));
+    return out.size() < limit;
+  });
+  return out;
+}
+
+// --- RWTxn ---
+
+RWTxn::RWTxn(RWTxn&& other) noexcept { *this = std::move(other); }
+
+RWTxn& RWTxn::operator=(RWTxn&& other) noexcept {
+  if (this != &other) {
+    Release();
+    store_ = other.store_;
+    base_version_ = other.base_version_;
+    ops_ = std::move(other.ops_);
+    write_index_ = std::move(other.write_index_);
+    other.store_ = nullptr;
+  }
+  return *this;
+}
+
+RWTxn::~RWTxn() { Release(); }
+
+void RWTxn::Release() {
+  if (store_ != nullptr) {
+    store_->ReleaseWriter();
+    store_ = nullptr;
+  }
+}
+
+void RWTxn::Put(std::string_view key, std::string_view value) {
+  ops_.push_back(Op{std::string(key), std::string(value)});
+  write_index_[std::string(key)] = ops_.size() - 1;
+}
+
+void RWTxn::Delete(std::string_view key) {
+  ops_.push_back(Op{std::string(key), std::nullopt});
+  write_index_[std::string(key)] = ops_.size() - 1;
+}
+
+std::optional<std::string> RWTxn::Get(std::string_view key) const {
+  auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    return ops_[it->second].value;
+  }
+  std::shared_lock<std::shared_mutex> lock(store_->data_mu_);
+  auto chain_it = store_->data_.find(key);
+  if (chain_it == store_->data_.end()) {
+    return std::nullopt;
+  }
+  return LocalStore::ValueAt(chain_it->second, base_version_);
+}
+
+void RWTxn::Scan(std::string_view start, std::string_view end,
+                 const std::function<bool(std::string_view, std::string_view)>& fn) const {
+  // Merge the committed range with this transaction's overlay.
+  std::map<std::string, std::optional<std::string>, std::less<>> merged;
+  {
+    std::shared_lock<std::shared_mutex> lock(store_->data_mu_);
+    for (auto it = store_->data_.lower_bound(start); it != store_->data_.end(); ++it) {
+      if (!end.empty() && it->first >= end) {
+        break;
+      }
+      auto value = LocalStore::ValueAt(it->second, base_version_);
+      if (value.has_value()) {
+        merged[it->first] = std::move(value);
+      }
+    }
+  }
+  for (const auto& [key, index] : write_index_) {
+    if (key < start || (!end.empty() && key >= end)) {
+      continue;
+    }
+    merged[key] = ops_[index].value;
+  }
+  for (const auto& [key, value] : merged) {
+    if (value.has_value()) {
+      if (!fn(key, *value)) {
+        return;
+      }
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> RWTxn::ScanPrefix(std::string_view prefix,
+                                                                   size_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  Scan(prefix, PrefixUpperBound(prefix), [&](std::string_view key, std::string_view value) {
+    out.emplace_back(std::string(key), std::string(value));
+    return out.size() < limit;
+  });
+  return out;
+}
+
+void RWTxn::RollbackTo(const Savepoint& savepoint) {
+  if (savepoint.op_count > ops_.size()) {
+    throw StoreError("rollback to a savepoint from a different transaction");
+  }
+  ops_.resize(savepoint.op_count);
+  write_index_.clear();
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    write_index_[ops_[i].key] = i;
+  }
+}
+
+void RWTxn::Commit() {
+  if (store_ == nullptr) {
+    throw StoreError("commit on an invalid transaction");
+  }
+  LocalStore* store = store_;
+  try {
+    store->CommitBatch(ops_);
+  } catch (...) {
+    // A failed commit still ends the transaction (and frees the writer
+    // slot); the batch is lost.
+    Release();
+    throw;
+  }
+  Release();
+}
+
+void RWTxn::Abort() { Release(); }
+
+// --- LocalStore ---
+
+LocalStore::LocalStore(Options options) : options_(std::move(options)) {}
+
+LocalStore::~LocalStore() = default;
+
+std::unique_ptr<LocalStore> LocalStore::Open(Options options) {
+  auto store = std::make_unique<LocalStore>(std::move(options));
+  if (!store->options_.checkpoint_path.empty() &&
+      std::filesystem::exists(store->options_.checkpoint_path)) {
+    store->LoadCheckpoint();
+  }
+  return store;
+}
+
+RWTxn LocalStore::BeginRW() {
+  bool expected = false;
+  if (!writer_active_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    LOG_FATAL << "second concurrent writer on LocalStore (apply-thread contract violated)";
+  }
+  return RWTxn(this, committed_version());
+}
+
+ROTxn LocalStore::Snapshot() {
+  return ROTxn(std::make_shared<internal::SnapshotHandle>(this, committed_version()));
+}
+
+void LocalStore::CommitBatch(std::vector<RWTxn::Op>& ops) {
+  if (fault_injected_.exchange(false, std::memory_order_acq_rel)) {
+    throw StoreError("injected commit fault (out of space)");
+  }
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  const uint64_t new_version = committed_version_.load(std::memory_order_relaxed) + 1;
+  uint64_t min_active;
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshots_mu_);
+    min_active = MinActiveSnapshotLocked();
+  }
+  for (auto& op : ops) {
+    Chain& chain = data_[op.key];
+    // Maintain the live-content checksum.
+    std::optional<std::string> old_live;
+    if (!chain.empty()) {
+      old_live = chain.back().value;
+    }
+    if (old_live.has_value()) {
+      checksum_.Remove(op.key, *old_live);
+    }
+    if (op.value.has_value()) {
+      checksum_.Add(op.key, *op.value);
+    }
+    if (!chain.empty() && chain.back().version == new_version) {
+      chain.back().value = std::move(op.value);
+    } else {
+      chain.push_back(VersionedValue{new_version, std::move(op.value)});
+    }
+    CompactChainLocked(op.key, chain, std::min(min_active, new_version));
+    if (data_[op.key].empty()) {
+      data_.erase(op.key);
+    }
+  }
+  committed_version_.store(new_version, std::memory_order_release);
+}
+
+std::optional<std::string> LocalStore::ValueAt(const Chain& chain, uint64_t version) {
+  // Chains are short (compacted on write); a reverse linear scan is fastest.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->version <= version) {
+      return it->value;
+    }
+  }
+  return std::nullopt;
+}
+
+void LocalStore::CompactChainLocked(const std::string& key, Chain& chain, uint64_t min_active) {
+  // Keep the newest version <= min_active (some snapshot may read it) and
+  // everything after; drop older ones. Drop a trailing tombstone nothing can
+  // observe.
+  size_t keep_from = 0;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].version <= min_active) {
+      keep_from = i;
+    } else {
+      break;
+    }
+  }
+  if (keep_from > 0) {
+    chain.erase(chain.begin(), chain.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+  if (chain.size() == 1 && !chain[0].value.has_value() && chain[0].version <= min_active) {
+    chain.clear();
+  }
+}
+
+void LocalStore::RegisterSnapshot(uint64_t version) {
+  std::lock_guard<std::mutex> lock(snapshots_mu_);
+  active_snapshots_.insert(version);
+}
+
+void LocalStore::UnregisterSnapshot(uint64_t version) {
+  std::lock_guard<std::mutex> lock(snapshots_mu_);
+  auto it = active_snapshots_.find(version);
+  if (it != active_snapshots_.end()) {
+    active_snapshots_.erase(it);
+  }
+}
+
+uint64_t LocalStore::MinActiveSnapshotLocked() const {
+  if (active_snapshots_.empty()) {
+    return UINT64_MAX;
+  }
+  return *active_snapshots_.begin();
+}
+
+uint64_t LocalStore::Checksum() const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  return checksum_.digest();
+}
+
+size_t LocalStore::KeyCount() const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  size_t count = 0;
+  for (const auto& [key, chain] : data_) {
+    if (!chain.empty() && chain.back().value.has_value()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+ROTxn LocalStore::Flush() {
+  ROTxn snapshot = Snapshot();
+  if (options_.checkpoint_path.empty()) {
+    flushed_version_.store(snapshot.version(), std::memory_order_release);
+    return snapshot;
+  }
+  Serializer ser;
+  ser.WriteString(kCheckpointMagic);
+  ser.WriteFixed64(snapshot.version());
+  std::vector<std::pair<std::string, std::string>> pairs;
+  snapshot.Scan("", "", [&](std::string_view key, std::string_view value) {
+    pairs.emplace_back(std::string(key), std::string(value));
+    return true;
+  });
+  ser.WriteVarint(pairs.size());
+  IncrementalChecksum check;
+  for (const auto& [key, value] : pairs) {
+    ser.WriteString(key);
+    ser.WriteString(value);
+    check.Add(key, value);
+  }
+  ser.WriteFixed64(check.digest());
+
+  const std::string tmp_path = options_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw StoreError("cannot open checkpoint file " + tmp_path);
+    }
+    const std::string& buffer = ser.buffer();
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!out) {
+      throw StoreError("short write to checkpoint file " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, options_.checkpoint_path, ec);
+  if (ec) {
+    throw StoreError("checkpoint rename failed: " + ec.message());
+  }
+  flushed_version_.store(snapshot.version(), std::memory_order_release);
+  return snapshot;
+}
+
+void LocalStore::LoadCheckpoint() {
+  std::ifstream in(options_.checkpoint_path, std::ios::binary);
+  if (!in) {
+    throw StoreError("cannot open checkpoint " + options_.checkpoint_path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  Deserializer de(bytes);
+  if (de.ReadString() != kCheckpointMagic) {
+    throw StoreError("bad checkpoint magic in " + options_.checkpoint_path);
+  }
+  const uint64_t version = de.ReadFixed64();
+  const uint64_t count = de.ReadVarint();
+  IncrementalChecksum check;
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string key = de.ReadString();
+      std::string value = de.ReadString();
+      check.Add(key, value);
+      checksum_.Add(key, value);
+      data_[std::move(key)] = Chain{VersionedValue{version, std::move(value)}};
+    }
+  }
+  const uint64_t expected = de.ReadFixed64();
+  if (check.digest() != expected) {
+    throw StoreError("checkpoint checksum mismatch in " + options_.checkpoint_path);
+  }
+  committed_version_.store(version, std::memory_order_release);
+  flushed_version_.store(version, std::memory_order_release);
+}
+
+}  // namespace delos

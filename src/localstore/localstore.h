@@ -1,0 +1,241 @@
+// LocalStore: the per-server persistent state substrate (RocksDB's role in
+// the paper, §3.1/§4).
+//
+// Contract used by the engine stack:
+//  * Exactly one writer at a time — the apply thread — via RWTxn. All apply
+//    upcall mutations happen inside a RWTxn, which provides failure
+//    atomicity: if the applicator throws, the transaction (or the nested
+//    sub-transaction, via savepoints) is rolled back.
+//  * Any number of readers via ROTxn snapshots: `sync` returns a ROTxn that
+//    is a linearizable snapshot of the store (§3.1). Snapshots are MVCC:
+//    the store keeps per-key version chains and compacts them once no live
+//    snapshot can observe the old versions.
+//  * The store is a deterministic function of the shared log. A committed
+//    transaction is visible but not immediately durable; Flush() writes a
+//    checkpoint (the BaseEngine flushes periodically in the background and
+//    replays the log from the checkpointed cursor after a reboot).
+//  * An incremental, order-independent content checksum detects replica
+//    divergence (§6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/checksum.h"
+#include "src/common/errors.h"
+
+namespace delos {
+
+class LocalStore;
+
+namespace internal {
+
+// Registers a snapshot version with the store for MVCC garbage collection;
+// unregisters on destruction. Shared by ROTxn copies.
+class SnapshotHandle {
+ public:
+  SnapshotHandle(LocalStore* store, uint64_t version);
+  ~SnapshotHandle();
+
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  uint64_t version() const { return version_; }
+  LocalStore* store() const { return store_; }
+
+ private:
+  LocalStore* store_;
+  uint64_t version_;
+};
+
+}  // namespace internal
+
+// Read-only snapshot transaction. Copyable; copies share the snapshot.
+class ROTxn {
+ public:
+  ROTxn() = default;
+  explicit ROTxn(std::shared_ptr<internal::SnapshotHandle> handle) : handle_(std::move(handle)) {}
+
+  bool valid() const { return handle_ != nullptr; }
+  uint64_t version() const { return handle_->version(); }
+
+  std::optional<std::string> Get(std::string_view key) const;
+
+  // In-order scan over live keys in [start, end). fn returns false to stop.
+  void Scan(std::string_view start, std::string_view end,
+            const std::function<bool(std::string_view key, std::string_view value)>& fn) const;
+
+  // Convenience: collect up to `limit` pairs with the given prefix.
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(std::string_view prefix,
+                                                              size_t limit = SIZE_MAX) const;
+
+ private:
+  std::shared_ptr<internal::SnapshotHandle> handle_;
+};
+
+// Savepoint marker for nested sub-transactions (paper §3.4: each engine's
+// apply runs in a nested sub-transaction of the entry's transaction).
+struct Savepoint {
+  size_t op_count = 0;
+};
+
+// Read-write transaction. Move-only; at most one alive per store.
+class RWTxn {
+ public:
+  RWTxn() = default;
+  RWTxn(RWTxn&& other) noexcept;
+  RWTxn& operator=(RWTxn&& other) noexcept;
+  RWTxn(const RWTxn&) = delete;
+  RWTxn& operator=(const RWTxn&) = delete;
+  ~RWTxn();
+
+  bool valid() const { return store_ != nullptr; }
+
+  void Put(std::string_view key, std::string_view value);
+  void Delete(std::string_view key);
+
+  // Read-your-writes: checks the write batch, then the committed state.
+  std::optional<std::string> Get(std::string_view key) const;
+
+  // Merged scan over committed state + this transaction's writes.
+  void Scan(std::string_view start, std::string_view end,
+            const std::function<bool(std::string_view key, std::string_view value)>& fn) const;
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(std::string_view prefix,
+                                                              size_t limit = SIZE_MAX) const;
+
+  // Nested sub-transaction support.
+  Savepoint MakeSavepoint() const { return Savepoint{ops_.size()}; }
+  void RollbackTo(const Savepoint& savepoint);
+
+  // Commits the batch; the transaction becomes invalid. Throws StoreError if
+  // a fault has been injected (models out-of-space etc.).
+  void Commit();
+  // Drops the batch; the transaction becomes invalid.
+  void Abort();
+
+  size_t op_count() const { return ops_.size(); }
+
+ private:
+  friend class LocalStore;
+  struct Op {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = delete
+  };
+
+  RWTxn(LocalStore* store, uint64_t base_version) : store_(store), base_version_(base_version) {}
+  void Release();
+
+  LocalStore* store_ = nullptr;
+  uint64_t base_version_ = 0;
+  std::vector<Op> ops_;
+  // Latest op index per key, for read-your-writes. Rebuilt on rollback.
+  std::map<std::string, size_t, std::less<>> write_index_;
+};
+
+class LocalStore {
+ public:
+  struct Options {
+    // When non-empty, Flush() writes a checkpoint file here and Open() will
+    // recover from it.
+    std::string checkpoint_path;
+  };
+
+  explicit LocalStore(Options options = Options{});
+  ~LocalStore();
+
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+
+  // Opens a store, recovering from the checkpoint file if present. Throws
+  // StoreError on a corrupt checkpoint (checksum mismatch).
+  static std::unique_ptr<LocalStore> Open(Options options);
+
+  // Begins the single write transaction. Aborts the process if a writer is
+  // already active (the engine contract guarantees a single apply thread).
+  RWTxn BeginRW();
+
+  // Snapshot of the latest committed state.
+  ROTxn Snapshot();
+
+  // Writes a durable checkpoint of the current committed state and returns
+  // the snapshot that was persisted. No-op (returns snapshot) for in-memory
+  // stores.
+  ROTxn Flush();
+
+  uint64_t committed_version() const { return committed_version_.load(std::memory_order_acquire); }
+  uint64_t flushed_version() const { return flushed_version_.load(std::memory_order_acquire); }
+
+  // Order-independent checksum over live (key, value) pairs. Two replicas
+  // that applied the same log prefix must agree on this.
+  uint64_t Checksum() const;
+
+  // Number of live keys.
+  size_t KeyCount() const;
+
+  // Test hook: the next Commit() throws StoreError (a non-deterministic
+  // failure; the engine stack must crash the server).
+  void InjectCommitFault() { fault_injected_.store(true, std::memory_order_release); }
+
+ private:
+  friend class ROTxn;
+  friend class RWTxn;
+  friend class internal::SnapshotHandle;
+
+  struct VersionedValue {
+    uint64_t version;
+    std::optional<std::string> value;
+  };
+  using Chain = std::vector<VersionedValue>;
+
+  void CommitBatch(std::vector<RWTxn::Op>& ops);
+  void ReleaseWriter() { writer_active_.store(false, std::memory_order_release); }
+  void RegisterSnapshot(uint64_t version);
+  void UnregisterSnapshot(uint64_t version);
+  uint64_t MinActiveSnapshotLocked() const;
+  static std::optional<std::string> ValueAt(const Chain& chain, uint64_t version);
+  void CompactChainLocked(const std::string& key, Chain& chain, uint64_t min_active);
+  void LoadCheckpoint();
+
+  Options options_;
+  mutable std::shared_mutex data_mu_;
+  std::map<std::string, Chain, std::less<>> data_;
+  IncrementalChecksum checksum_;
+
+  std::atomic<uint64_t> committed_version_{0};
+  std::atomic<uint64_t> flushed_version_{0};
+  std::atomic<bool> writer_active_{false};
+  std::atomic<bool> fault_injected_{false};
+
+  mutable std::mutex snapshots_mu_;
+  std::multiset<uint64_t> active_snapshots_;
+};
+
+// Key namespace helper: each engine keeps its state under its own prefix
+// (engines are "not typically allowed to access state belonging to other
+// engines", §3.3 — the BrainDoctorEngine is the sanctioned exception).
+class Keyspace {
+ public:
+  explicit Keyspace(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  std::string Key(std::string_view suffix) const {
+    std::string out = prefix_;
+    out.append(suffix);
+    return out;
+  }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+};
+
+}  // namespace delos

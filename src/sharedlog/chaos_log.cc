@@ -1,0 +1,208 @@
+#include "src/sharedlog/chaos_log.h"
+
+namespace delos {
+
+// --- DelayedLog ---
+
+DelayedLog::DelayedLog(std::shared_ptr<ISharedLog> inner, Delays delays, uint64_t seed)
+    : inner_(std::move(inner)), delays_(delays), rng_(seed) {}
+
+int64_t DelayedLog::JitteredDelay(int64_t base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (delays_.jitter_micros > 0) {
+    base += rng_.Uniform(0, delays_.jitter_micros);
+  }
+  return base;
+}
+
+template <typename T>
+Future<T> DelayedLog::DelayFuture(Future<T> inner_future, int64_t delay_micros) {
+  if (delay_micros <= 0) {
+    return inner_future;
+  }
+  auto promise = std::make_shared<Promise<T>>();
+  Future<T> out = promise->GetFuture();
+  inner_future.Then([this, promise, delay_micros](Result<T> result) {
+    scheduler_.Schedule(delay_micros, [promise, result = std::move(result)]() mutable {
+      if (result.ok()) {
+        promise->SetValue(std::move(result).value());
+      } else {
+        promise->SetException(result.error());
+      }
+    });
+  });
+  return out;
+}
+
+Future<LogPos> DelayedLog::Append(std::string payload) {
+  return DelayFuture(inner_->Append(std::move(payload)), JitteredDelay(delays_.append_micros));
+}
+
+Future<LogPos> DelayedLog::CheckTail() {
+  return DelayFuture(inner_->CheckTail(), JitteredDelay(delays_.tail_check_micros));
+}
+
+std::vector<LogRecord> DelayedLog::ReadRange(LogPos lo, LogPos hi) {
+  return inner_->ReadRange(lo, hi);
+}
+
+void DelayedLog::Trim(LogPos prefix) { inner_->Trim(prefix); }
+LogPos DelayedLog::trim_prefix() const { return inner_->trim_prefix(); }
+void DelayedLog::Seal() { inner_->Seal(); }
+
+void DelayedLog::set_delays(Delays delays) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delays_ = delays;
+}
+
+// --- ThrottledLog ---
+
+ThrottledLog::ThrottledLog(std::shared_ptr<ISharedLog> inner, Costs costs)
+    : inner_(std::move(inner)), costs_(costs) {
+  service_thread_ = std::thread([this] { ServiceLoop(); });
+}
+
+ThrottledLog::~ThrottledLog() {
+  queue_.Close();
+  if (service_thread_.joinable()) {
+    service_thread_.join();
+  }
+}
+
+void ThrottledLog::ServiceLoop() {
+  while (true) {
+    auto pending = queue_.Pop();
+    if (!pending.has_value()) {
+      return;
+    }
+    // The serialized service slot (fsync / replication pipeline occupancy).
+    RealClock::Instance()->SleepMicros(costs_.append_service_micros);
+    Future<LogPos> inner_future = inner_->Append(std::move(pending->payload));
+    auto promise = pending->promise;
+    const int64_t extra = costs_.append_latency_micros;
+    inner_future.Then([this, promise, extra](Result<LogPos> result) mutable {
+      if (extra <= 0) {
+        if (result.ok()) {
+          promise->SetValue(std::move(result).value());
+        } else {
+          promise->SetException(result.error());
+        }
+        return;
+      }
+      scheduler_.Schedule(extra, [promise, result = std::move(result)]() mutable {
+        if (result.ok()) {
+          promise->SetValue(std::move(result).value());
+        } else {
+          promise->SetException(result.error());
+        }
+      });
+    });
+  }
+}
+
+Future<LogPos> ThrottledLog::Append(std::string payload) {
+  auto promise = std::make_shared<Promise<LogPos>>();
+  Future<LogPos> future = promise->GetFuture();
+  if (!queue_.Push(PendingAppend{std::move(payload), promise})) {
+    promise->SetException(std::make_exception_ptr(LogUnavailableError("log shut down")));
+  }
+  return future;
+}
+
+Future<LogPos> ThrottledLog::CheckTail() {
+  if (costs_.tail_check_micros <= 0) {
+    return inner_->CheckTail();
+  }
+  auto promise = std::make_shared<Promise<LogPos>>();
+  Future<LogPos> future = promise->GetFuture();
+  inner_->CheckTail().Then([this, promise](Result<LogPos> result) {
+    scheduler_.Schedule(costs_.tail_check_micros, [promise, result = std::move(result)]() mutable {
+      if (result.ok()) {
+        promise->SetValue(std::move(result).value());
+      } else {
+        promise->SetException(result.error());
+      }
+    });
+  });
+  return future;
+}
+
+std::vector<LogRecord> ThrottledLog::ReadRange(LogPos lo, LogPos hi) {
+  return inner_->ReadRange(lo, hi);
+}
+void ThrottledLog::Trim(LogPos prefix) { inner_->Trim(prefix); }
+LogPos ThrottledLog::trim_prefix() const { return inner_->trim_prefix(); }
+void ThrottledLog::Seal() { inner_->Seal(); }
+
+// --- ReorderingLog ---
+
+ReorderingLog::ReorderingLog(std::shared_ptr<ISharedLog> inner, double swap_probability,
+                             int64_t hold_timeout_micros, uint64_t seed)
+    : inner_(std::move(inner)),
+      swap_probability_(swap_probability),
+      hold_timeout_micros_(hold_timeout_micros),
+      rng_(seed) {}
+
+Future<LogPos> ReorderingLog::Append(std::string payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (held_.has_value()) {
+    // Issue the new entry first, then the held one: an adjacent swap.
+    Held held = std::move(*held_);
+    held_.reset();
+    swaps_ += 1;
+    lock.unlock();
+    Future<LogPos> first = inner_->Append(std::move(payload));
+    inner_->Append(std::move(held.payload))
+        .Then([promise = held.promise](Result<LogPos> result) {
+          if (result.ok()) {
+            promise->SetValue(std::move(result).value());
+          } else {
+            promise->SetException(result.error());
+          }
+        });
+    return first;
+  }
+  if (rng_.Bernoulli(swap_probability_)) {
+    auto promise = std::make_shared<Promise<LogPos>>();
+    const uint64_t ticket = next_ticket_++;
+    held_ = Held{std::move(payload), promise, ticket};
+    lock.unlock();
+    // Safety valve: if no append follows, release the held entry unswapped.
+    scheduler_.Schedule(hold_timeout_micros_, [this, ticket] {
+      std::unique_lock<std::mutex> inner_lock(mu_);
+      if (held_.has_value() && held_->ticket == ticket) {
+        Held held = std::move(*held_);
+        held_.reset();
+        inner_lock.unlock();
+        inner_->Append(std::move(held.payload))
+            .Then([promise = held.promise](Result<LogPos> result) {
+              if (result.ok()) {
+                promise->SetValue(std::move(result).value());
+              } else {
+                promise->SetException(result.error());
+              }
+            });
+      }
+    });
+    return promise->GetFuture();
+  }
+  lock.unlock();
+  return inner_->Append(std::move(payload));
+}
+
+Future<LogPos> ReorderingLog::CheckTail() { return inner_->CheckTail(); }
+
+std::vector<LogRecord> ReorderingLog::ReadRange(LogPos lo, LogPos hi) {
+  return inner_->ReadRange(lo, hi);
+}
+
+void ReorderingLog::Trim(LogPos prefix) { inner_->Trim(prefix); }
+LogPos ReorderingLog::trim_prefix() const { return inner_->trim_prefix(); }
+void ReorderingLog::Seal() { inner_->Seal(); }
+
+uint64_t ReorderingLog::swaps_performed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return swaps_;
+}
+
+}  // namespace delos

@@ -1,0 +1,131 @@
+// Shared-log decorators for tests and benches.
+//
+//  * DelayedLog adds configurable latency to Append / CheckTail, modeling a
+//    consensus round trip without running the full quorum simulation. The
+//    Figure 9/10 benches use it to shape the log's latency profile cheaply.
+//  * ReorderingLog occasionally swaps the order of adjacent appends. The
+//    paper notes disorder "can occur due to leader changes within the log
+//    implementation, or due to code changes in the Delos stack" (§4.3); this
+//    wrapper manufactures those rare events so the SessionOrderEngine's
+//    filtering and re-propose paths can be exercised deterministically.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "src/common/blocking_queue.h"
+#include "src/common/random.h"
+#include "src/common/scheduler.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace delos {
+
+class DelayedLog : public ISharedLog {
+ public:
+  struct Delays {
+    int64_t append_micros = 0;
+    int64_t tail_check_micros = 0;
+    int64_t jitter_micros = 0;
+  };
+
+  DelayedLog(std::shared_ptr<ISharedLog> inner, Delays delays, uint64_t seed = 7);
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+  void set_delays(Delays delays);
+
+ private:
+  int64_t JitteredDelay(int64_t base);
+  template <typename T>
+  Future<T> DelayFuture(Future<T> inner_future, int64_t delay_micros);
+
+  std::shared_ptr<ISharedLog> inner_;
+  std::mutex mu_;
+  Delays delays_;
+  Rng rng_;
+  TimerScheduler scheduler_;
+};
+
+// Models a consensus substrate with a serial service bottleneck: every
+// append occupies the "SSD/replication pipeline" for service_micros before
+// committing (the paper notes write-heavy clusters bottleneck on SSD
+// bandwidth for the consensus protocol's synchronous writes, §5.1). This is
+// the cost the BatchingEngine amortizes: one batch = one service slot.
+// CheckTail costs a round trip of tail_check_micros.
+class ThrottledLog : public ISharedLog {
+ public:
+  struct Costs {
+    int64_t append_service_micros = 100;  // serialized per-append cost
+    int64_t append_latency_micros = 0;    // additional non-serialized delay
+    int64_t tail_check_micros = 0;
+  };
+
+  ThrottledLog(std::shared_ptr<ISharedLog> inner, Costs costs);
+  ~ThrottledLog() override;
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+ private:
+  struct PendingAppend {
+    std::string payload;
+    std::shared_ptr<Promise<LogPos>> promise;
+  };
+  void ServiceLoop();
+
+  std::shared_ptr<ISharedLog> inner_;
+  Costs costs_;
+  BlockingQueue<PendingAppend> queue_;
+  TimerScheduler scheduler_;
+  std::thread service_thread_;
+};
+
+class ReorderingLog : public ISharedLog {
+ public:
+  // With probability `swap_probability`, an append is held back and issued
+  // after the following append (or after `hold_timeout_micros` if no append
+  // follows).
+  ReorderingLog(std::shared_ptr<ISharedLog> inner, double swap_probability,
+                int64_t hold_timeout_micros = 2000, uint64_t seed = 11);
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+  uint64_t swaps_performed() const;
+
+ private:
+  struct Held {
+    std::string payload;
+    std::shared_ptr<Promise<LogPos>> promise;
+    uint64_t ticket;
+  };
+
+  void FlushHeldLocked();
+
+  std::shared_ptr<ISharedLog> inner_;
+  double swap_probability_;
+  int64_t hold_timeout_micros_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::optional<Held> held_;
+  uint64_t next_ticket_ = 1;
+  uint64_t swaps_ = 0;
+  TimerScheduler scheduler_;
+};
+
+}  // namespace delos

@@ -1,0 +1,68 @@
+#include "src/sharedlog/inmemory_log.h"
+
+#include "src/common/errors.h"
+
+namespace delos {
+
+InMemoryLog::InMemoryLog(LogPos start_pos) : start_pos_(start_pos) {}
+
+Future<LogPos> InMemoryLog::Append(std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_) {
+    return MakeErrorFuture<LogPos>(std::make_exception_ptr(SealedError("loglet sealed")));
+  }
+  entries_.push_back(std::move(payload));
+  return MakeReadyFuture<LogPos>(start_pos_ + entries_.size() - 1);
+}
+
+Future<LogPos> InMemoryLog::CheckTail() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MakeReadyFuture<LogPos>(start_pos_ + entries_.size());
+}
+
+std::vector<LogRecord> InMemoryLog::ReadRange(LogPos lo, LogPos hi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lo <= trim_prefix_) {
+    throw TrimmedError("read below trim prefix");
+  }
+  std::vector<LogRecord> out;
+  for (LogPos pos = std::max(lo, start_pos_); pos <= hi; ++pos) {
+    const size_t index = pos - start_pos_;
+    if (index >= entries_.size()) {
+      break;
+    }
+    out.push_back(LogRecord{pos, entries_[index]});
+  }
+  return out;
+}
+
+void InMemoryLog::Trim(LogPos prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prefix > trim_prefix_) {
+    trim_prefix_ = prefix;
+    // Entries stay allocated but logically trimmed; a production loglet
+    // would reclaim storage here. We clear payloads to model reclamation.
+    const LogPos last = std::min<LogPos>(prefix, start_pos_ + entries_.size() - 1);
+    for (LogPos pos = start_pos_; pos <= last && pos >= start_pos_; ++pos) {
+      entries_[pos - start_pos_].clear();
+      entries_[pos - start_pos_].shrink_to_fit();
+    }
+  }
+}
+
+LogPos InMemoryLog::trim_prefix() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trim_prefix_;
+}
+
+void InMemoryLog::Seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_ = true;
+}
+
+bool InMemoryLog::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+}  // namespace delos

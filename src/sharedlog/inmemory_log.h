@@ -1,0 +1,36 @@
+// Zero-latency in-process shared log. The workhorse for unit tests and for
+// benches that isolate engine-stack costs from consensus costs.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/sharedlog/shared_log.h"
+
+namespace delos {
+
+class InMemoryLog : public ISharedLog {
+ public:
+  // Positions in this log start at `start_pos` (the VirtualLog chains
+  // loglets whose position ranges continue one another).
+  explicit InMemoryLog(LogPos start_pos = 1);
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+  bool sealed() const;
+
+ private:
+  mutable std::mutex mu_;
+  LogPos start_pos_;
+  std::vector<std::string> entries_;  // entries_[i] is position start_pos_ + i
+  LogPos trim_prefix_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace delos

@@ -1,0 +1,426 @@
+#include "src/sharedlog/quorum_loglet.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+
+namespace delos {
+
+namespace {
+
+constexpr uint64_t kStatusOk = 0;
+constexpr uint64_t kStatusSealed = 1;
+
+std::string EncodePosReply(uint64_t status, LogPos pos) {
+  Serializer ser;
+  ser.WriteVarint(status);
+  ser.WriteVarint(pos);
+  return ser.Release();
+}
+
+// Decodes a (status, pos) reply, throwing SealedError on a sealed status.
+LogPos DecodePosReply(const std::string& reply, const char* what) {
+  Deserializer de(reply);
+  const uint64_t status = de.ReadVarint();
+  const LogPos pos = de.ReadVarint();
+  if (status == kStatusSealed) {
+    throw SealedError(std::string(what) + ": loglet sealed");
+  }
+  return pos;
+}
+
+}  // namespace
+
+struct QuorumEnsemble::PendingAppend {
+  std::vector<bool> acked;  // per-acceptor, so retransmitted acks count once
+  bool committed = false;
+  std::string store_bytes;
+  SimNetwork::ReplyFn reply;
+};
+
+struct QuorumEnsemble::SequencerState {
+  std::mutex mu;
+  LogPos next_pos;
+  LogPos commit_frontier;  // first position not yet committed
+  bool sealed = false;
+  std::map<LogPos, PendingAppend> pending;
+};
+
+struct QuorumEnsemble::AcceptorState {
+  mutable std::mutex mu;
+  std::map<LogPos, std::string> entries;
+  LogPos trim_prefix = 0;
+  bool sealed = false;
+};
+
+QuorumEnsemble::QuorumEnsemble(SimNetwork* network, QuorumLogletConfig config)
+    : network_(network), config_(std::move(config)) {
+  sequencer_ = std::make_shared<SequencerState>();
+  sequencer_->next_pos = config_.start_pos;
+  sequencer_->commit_frontier = config_.start_pos;
+  for (int i = 0; i < config_.num_acceptors; ++i) {
+    acceptors_.push_back(std::make_shared<AcceptorState>());
+  }
+  RegisterSequencer();
+  for (int i = 0; i < config_.num_acceptors; ++i) {
+    RegisterAcceptor(i);
+  }
+}
+
+NodeId QuorumEnsemble::sequencer_node() const { return config_.loglet_id + "/seq"; }
+
+NodeId QuorumEnsemble::acceptor_node(int index) const {
+  return config_.loglet_id + "/acc" + std::to_string(index);
+}
+
+void QuorumEnsemble::SetAcceptorUp(int index, bool up) {
+  network_->SetNodeUp(acceptor_node(index), up);
+}
+
+size_t QuorumEnsemble::AcceptorEntryCount(int index) const {
+  std::lock_guard<std::mutex> lock(acceptors_[index]->mu);
+  return acceptors_[index]->entries.size();
+}
+
+void QuorumEnsemble::RegisterSequencer() {
+  auto seq = sequencer_;
+  const int majority = config_.num_acceptors / 2 + 1;
+  const NodeId seq_node = sequencer_node();
+  std::vector<NodeId> acceptor_nodes;
+  acceptor_nodes.reserve(config_.num_acceptors);
+  for (int i = 0; i < config_.num_acceptors; ++i) {
+    acceptor_nodes.push_back(acceptor_node(i));
+  }
+
+  network_->RegisterAsyncHandler(
+      seq_node, [this, seq, majority, seq_node, acceptor_nodes](
+                    const NodeId& from, const std::string& method, const std::string& request,
+                    SimNetwork::ReplyFn reply) {
+        if (method == "q.tail") {
+          std::lock_guard<std::mutex> lock(seq->mu);
+          reply(EncodePosReply(seq->sealed ? kStatusSealed : kStatusOk, seq->commit_frontier));
+          return;
+        }
+        if (method == "q.seal") {
+          LogPos sealed_tail;
+          {
+            std::lock_guard<std::mutex> lock(seq->mu);
+            seq->sealed = true;
+            // Uncommitted appends are abandoned; their clients time out and
+            // retry against the successor loglet.
+            for (auto it = seq->pending.begin(); it != seq->pending.end();) {
+              if (!it->second.committed) {
+                it = seq->pending.erase(it);
+              } else {
+                ++it;
+              }
+            }
+            sealed_tail = seq->commit_frontier;
+          }
+          for (const NodeId& acc : acceptor_nodes) {
+            network_->Call(seq_node, acc, "q.seal", "");
+          }
+          reply(EncodePosReply(kStatusOk, sealed_tail));
+          return;
+        }
+        if (method == "q.append") {
+          LogPos pos;
+          {
+            std::lock_guard<std::mutex> lock(seq->mu);
+            if (seq->sealed) {
+              reply(EncodePosReply(kStatusSealed, kInvalidLogPos));
+              return;
+            }
+            pos = seq->next_pos++;
+            PendingAppend pending;
+            pending.acked.assign(config_.num_acceptors, false);
+            Serializer store_req;
+            store_req.WriteVarint(pos);
+            store_req.WriteString(request);
+            pending.store_bytes = store_req.Release();
+            pending.reply = std::move(reply);
+            seq->pending.emplace(pos, std::move(pending));
+          }
+          for (int i = 0; i < config_.num_acceptors; ++i) {
+            SendStore(pos, i, /*attempts_left=*/64);
+          }
+          return;
+        }
+        LOG_WARNING << "sequencer: unknown method " << method;
+      });
+}
+
+void QuorumEnsemble::SendStore(LogPos pos, int acceptor_index, int attempts_left) {
+  if (attempts_left <= 0) {
+    return;  // Give up; the client's append times out and retries.
+  }
+  std::string store_bytes;
+  {
+    std::lock_guard<std::mutex> lock(sequencer_->mu);
+    if (sequencer_->sealed) {
+      return;
+    }
+    auto it = sequencer_->pending.find(pos);
+    if (it == sequencer_->pending.end() || it->second.acked[acceptor_index]) {
+      return;  // Committed+replied, abandoned at seal, or already acked.
+    }
+    store_bytes = it->second.store_bytes;
+  }
+  // The continuation only touches shared sequencer state through a weak
+  // reference so retransmissions in flight during teardown become no-ops.
+  std::weak_ptr<SequencerState> weak_seq = sequencer_;
+  network_->Call(sequencer_node(), acceptor_node(acceptor_index), "q.store",
+                 std::move(store_bytes))
+      .Then([this, weak_seq, pos, acceptor_index, attempts_left](Result<std::string> result) {
+        if (weak_seq.expired()) {
+          return;  // The ensemble is gone.
+        }
+        HandleStoreAck(pos, acceptor_index, result.ok() && result.value() == "O",
+                       attempts_left - 1);
+      });
+}
+
+void QuorumEnsemble::HandleStoreAck(LogPos pos, int acceptor_index, bool ok,
+                                    int attempts_left) {
+  if (!ok) {
+    // Lost request or ack: retransmit until the position commits, the
+    // loglet seals, or the attempt budget runs out (the drop-tolerance a
+    // real sequencer provides).
+    SendStore(pos, acceptor_index, attempts_left);
+    return;
+  }
+  const int majority = config_.num_acceptors / 2 + 1;
+  std::vector<std::pair<SimNetwork::ReplyFn, std::string>> replies;
+  {
+    std::lock_guard<std::mutex> lock(sequencer_->mu);
+    auto it = sequencer_->pending.find(pos);
+    if (it == sequencer_->pending.end()) {
+      return;  // Already replied or abandoned at seal.
+    }
+    it->second.acked[acceptor_index] = true;
+    int acks = 0;
+    for (const bool acked : it->second.acked) {
+      acks += acked ? 1 : 0;
+    }
+    if (acks >= majority) {
+      it->second.committed = true;
+      AdvanceCommitFrontierLocked(&replies);
+    }
+  }
+  for (auto& [reply, bytes] : replies) {
+    reply(std::move(bytes));
+  }
+}
+
+void QuorumEnsemble::AdvanceCommitFrontierLocked(
+    std::vector<std::pair<SimNetwork::ReplyFn, std::string>>* out) {
+  // Reply to appends strictly in position order so the tail is contiguous
+  // and every completed append lies below it.
+  while (true) {
+    auto it = sequencer_->pending.find(sequencer_->commit_frontier);
+    if (it == sequencer_->pending.end() || !it->second.committed) {
+      return;
+    }
+    out->emplace_back(std::move(it->second.reply),
+                      EncodePosReply(kStatusOk, sequencer_->commit_frontier));
+    sequencer_->pending.erase(it);
+    sequencer_->commit_frontier += 1;
+  }
+}
+
+void QuorumEnsemble::RegisterAcceptor(int index) {
+  auto acc = acceptors_[index];
+  network_->RegisterHandler(
+      acceptor_node(index),
+      [acc](const NodeId& from, const std::string& method, const std::string& request) {
+        std::lock_guard<std::mutex> lock(acc->mu);
+        if (method == "q.store") {
+          if (acc->sealed) {
+            return std::string("S");
+          }
+          Deserializer de(request);
+          const LogPos pos = de.ReadVarint();
+          std::string payload = de.ReadString();
+          acc->entries[pos] = std::move(payload);
+          return std::string("O");
+        }
+        if (method == "q.read") {
+          Deserializer de(request);
+          const LogPos lo = de.ReadVarint();
+          const LogPos hi = de.ReadVarint();
+          Serializer ser;
+          // Lead with this acceptor's trim prefix so readers below it learn
+          // they fell off the log (and must restore from backup) instead of
+          // retrying forever.
+          ser.WriteVarint(acc->trim_prefix);
+          std::vector<std::pair<LogPos, const std::string*>> found;
+          for (auto it = acc->entries.lower_bound(lo); it != acc->entries.end() && it->first <= hi;
+               ++it) {
+            if (it->first > acc->trim_prefix) {
+              found.emplace_back(it->first, &it->second);
+            }
+          }
+          ser.WriteVarint(found.size());
+          for (const auto& [pos, payload] : found) {
+            ser.WriteVarint(pos);
+            ser.WriteString(*payload);
+          }
+          return ser.Release();
+        }
+        if (method == "q.trim") {
+          Deserializer de(request);
+          const LogPos prefix = de.ReadVarint();
+          acc->trim_prefix = std::max(acc->trim_prefix, prefix);
+          acc->entries.erase(acc->entries.begin(), acc->entries.upper_bound(prefix));
+          return std::string("O");
+        }
+        if (method == "q.seal") {
+          acc->sealed = true;
+          return std::string("O");
+        }
+        return std::string("?");
+      });
+}
+
+// --- client ---
+
+QuorumLogletClient::QuorumLogletClient(SimNetwork* network, NodeId self, QuorumLogletConfig config,
+                                       int preferred_acceptor)
+    : network_(network),
+      self_(std::move(self)),
+      config_(std::move(config)),
+      preferred_acceptor_(preferred_acceptor) {}
+
+NodeId QuorumLogletClient::SequencerNode() const { return config_.loglet_id + "/seq"; }
+
+NodeId QuorumLogletClient::AcceptorNode(int index) const {
+  return config_.loglet_id + "/acc" + std::to_string(index);
+}
+
+Future<LogPos> QuorumLogletClient::Append(std::string payload) {
+  Promise<LogPos> promise;
+  Future<LogPos> future = promise.GetFuture();
+  network_->Call(self_, SequencerNode(), "q.append", std::move(payload))
+      .Then([promise = std::make_shared<Promise<LogPos>>(std::move(promise))](
+                Result<std::string> result) {
+        if (!result.ok()) {
+          promise->SetException(result.error());
+          return;
+        }
+        try {
+          promise->SetValue(DecodePosReply(result.value(), "append"));
+        } catch (...) {
+          promise->SetException(std::current_exception());
+        }
+      });
+  return future;
+}
+
+Future<LogPos> QuorumLogletClient::CheckTail() {
+  Promise<LogPos> promise;
+  Future<LogPos> future = promise.GetFuture();
+  network_->Call(self_, SequencerNode(), "q.tail", "")
+      .Then([promise = std::make_shared<Promise<LogPos>>(std::move(promise))](
+                Result<std::string> result) {
+        if (!result.ok()) {
+          promise->SetException(result.error());
+          return;
+        }
+        try {
+          Deserializer de(result.value());
+          de.ReadVarint();  // Tail checks succeed on sealed loglets too.
+          promise->SetValue(de.ReadVarint());
+        } catch (...) {
+          promise->SetException(std::current_exception());
+        }
+      });
+  return future;
+}
+
+std::vector<LogRecord> QuorumLogletClient::ReadRange(LogPos lo, LogPos hi) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lo <= trim_prefix_) {
+      throw TrimmedError("read below trim prefix");
+    }
+  }
+  const LogPos tail = CheckTail().Get();
+  if (tail == config_.start_pos || lo >= tail) {
+    return {};
+  }
+  hi = std::min<LogPos>(hi, tail - 1);
+  if (lo > hi) {
+    return {};
+  }
+
+  std::map<LogPos, std::string> merged;
+  Serializer req;
+  req.WriteVarint(lo);
+  req.WriteVarint(hi);
+  const std::string req_bytes = req.Release();
+
+  const auto needed = static_cast<size_t>(hi - lo + 1);
+  for (int attempt = 0; attempt < config_.read_attempts && merged.size() < needed; ++attempt) {
+    const int index =
+        (preferred_acceptor_ + attempt) % std::max(1, config_.num_acceptors);
+    try {
+      const std::string reply =
+          network_->Call(self_, AcceptorNode(index), "q.read", req_bytes).Get();
+      Deserializer de(reply);
+      const LogPos acceptor_trim = de.ReadVarint();
+      if (acceptor_trim >= lo) {
+        std::lock_guard<std::mutex> lock(mu_);
+        trim_prefix_ = std::max(trim_prefix_, acceptor_trim);
+        throw TrimmedError("requested range trimmed on acceptors");
+      }
+      const uint64_t count = de.ReadVarint();
+      for (uint64_t i = 0; i < count; ++i) {
+        const LogPos pos = de.ReadVarint();
+        std::string payload = de.ReadString();
+        merged.emplace(pos, std::move(payload));
+      }
+    } catch (const LogUnavailableError&) {
+      // Acceptor down or dropped; try the next one.
+    }
+  }
+  if (merged.size() < needed) {
+    throw LogUnavailableError("incomplete read of committed range after retries");
+  }
+  std::vector<LogRecord> out;
+  out.reserve(merged.size());
+  for (auto& [pos, payload] : merged) {
+    out.push_back(LogRecord{pos, std::move(payload)});
+  }
+  return out;
+}
+
+void QuorumLogletClient::Trim(LogPos prefix) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trim_prefix_ = std::max(trim_prefix_, prefix);
+  }
+  Serializer req;
+  req.WriteVarint(prefix);
+  const std::string req_bytes = req.Release();
+  for (int i = 0; i < config_.num_acceptors; ++i) {
+    network_->Call(self_, AcceptorNode(i), "q.trim", req_bytes);
+  }
+}
+
+LogPos QuorumLogletClient::trim_prefix() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trim_prefix_;
+}
+
+void QuorumLogletClient::Seal() {
+  try {
+    network_->Call(self_, SequencerNode(), "q.seal", "").Get();
+  } catch (const LogUnavailableError&) {
+    // Seal is idempotent; a lost reply is retried by the reconfiguration
+    // driver via a fresh Seal call.
+  }
+}
+
+}  // namespace delos

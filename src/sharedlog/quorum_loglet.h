@@ -1,0 +1,103 @@
+// Quorum-replicated loglet: the reproduction's fault-tolerant consensus
+// substrate (the role LogDevice / native Loglets play under the Delos
+// VirtualLog).
+//
+// Design (LogDevice-flavored):
+//  * A sequencer assigns positions and fans each entry out to N acceptors.
+//  * An append is committed once a majority of acceptors ack AND all lower
+//    positions are committed; the sequencer replies to appends in commit
+//    order, so the "tail" (first unwritten position) is always contiguous
+//    and every completed append is below it — the linearizability anchor
+//    for BaseEngine::Sync.
+//  * Clients read ranges from acceptors (preferring a colocated one) and
+//    merge until the range is covered, bounded above by the committed tail.
+//  * Seal stops the sequencer at a fixed tail; the VirtualLog chains a new
+//    loglet from there.
+//
+// All traffic crosses the SimNetwork, so appends and tail checks cost real
+// (simulated) round trips — which is exactly what the LeaseEngine experiment
+// measures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/sim_network.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace delos {
+
+struct QuorumLogletConfig {
+  std::string loglet_id = "loglet0";
+  int num_acceptors = 3;
+  LogPos start_pos = 1;
+  // Max attempts for a client read sweep across acceptors.
+  int read_attempts = 8;
+};
+
+// Server side: owns sequencer + acceptor state and registers their handlers
+// on the network. Node ids are "<loglet_id>/seq" and "<loglet_id>/acc<i>".
+class QuorumEnsemble {
+ public:
+  QuorumEnsemble(SimNetwork* network, QuorumLogletConfig config);
+
+  const QuorumLogletConfig& config() const { return config_; }
+  NodeId sequencer_node() const;
+  NodeId acceptor_node(int index) const;
+
+  // Fault injection: a down acceptor drops all traffic.
+  void SetAcceptorUp(int index, bool up);
+
+  // Number of entries currently stored on an acceptor (tests).
+  size_t AcceptorEntryCount(int index) const;
+
+ private:
+  struct PendingAppend;
+  struct SequencerState;
+  struct AcceptorState;
+
+  void RegisterSequencer();
+  void RegisterAcceptor(int index);
+  // Sends (or resends) the store for a pending position to one acceptor.
+  // Retransmits on loss up to `attempts_left` times; gives up after that
+  // (the client's append times out and it retries end-to-end).
+  void SendStore(LogPos pos, int acceptor_index, int attempts_left);
+  void HandleStoreAck(LogPos pos, int acceptor_index, bool ok, int attempts_left);
+  void AdvanceCommitFrontierLocked(std::vector<std::pair<SimNetwork::ReplyFn, std::string>>* out);
+
+  SimNetwork* network_;
+  QuorumLogletConfig config_;
+  std::shared_ptr<SequencerState> sequencer_;
+  std::vector<std::shared_ptr<AcceptorState>> acceptors_;
+};
+
+// Client side: an ISharedLog facade used by one Delos server. `self` is the
+// client's network node id (registered implicitly; clients need no handler).
+class QuorumLogletClient : public ISharedLog {
+ public:
+  QuorumLogletClient(SimNetwork* network, NodeId self, QuorumLogletConfig config,
+                     int preferred_acceptor = 0);
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+ private:
+  NodeId SequencerNode() const;
+  NodeId AcceptorNode(int index) const;
+
+  SimNetwork* network_;
+  NodeId self_;
+  QuorumLogletConfig config_;
+  int preferred_acceptor_;
+  mutable std::mutex mu_;
+  LogPos trim_prefix_ = 0;
+};
+
+}  // namespace delos

@@ -1,0 +1,60 @@
+// The shared log abstraction that log-structured protocols run over.
+//
+// In Delos this is the VirtualLog of the Virtual Consensus paper [OSDI'20]:
+// a virtualized, fault-tolerant totally ordered log. The reproduction keeps
+// the same API shape:
+//  * Append assigns a position and returns once the entry is durable
+//    (majority-replicated in the quorum implementation).
+//  * CheckTail returns the first unwritten position; every append that
+//    completed before the check is below the returned tail (this is what
+//    makes BaseEngine::Sync linearizable).
+//  * ReadRange streams back committed entries; positions at or below the
+//    trim prefix are gone (TrimmedError).
+//  * Seal stops appends at a fixed tail — the VirtualLog uses this to chain
+//    loglets during reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/future.h"
+
+namespace delos {
+
+// Log positions are 1-based; 0 means "no position".
+using LogPos = uint64_t;
+inline constexpr LogPos kInvalidLogPos = 0;
+
+struct LogRecord {
+  LogPos pos = kInvalidLogPos;
+  std::string payload;
+};
+
+class ISharedLog {
+ public:
+  virtual ~ISharedLog() = default;
+
+  // Appends a payload; the future yields the assigned position once the
+  // entry is committed (durable). Fails with SealedError on a sealed log and
+  // LogUnavailableError when no quorum is reachable.
+  virtual Future<LogPos> Append(std::string payload) = 0;
+
+  // Returns the first unwritten position. Linearizable: reflects every
+  // append completed before this call started.
+  virtual Future<LogPos> CheckTail() = 0;
+
+  // Reads committed entries in [lo, hi] (inclusive), blocking as needed.
+  // Entries above the committed tail are silently omitted; positions at or
+  // below the trim prefix throw TrimmedError.
+  virtual std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) = 0;
+
+  // Garbage-collects positions <= prefix.
+  virtual void Trim(LogPos prefix) = 0;
+  virtual LogPos trim_prefix() const = 0;
+
+  // Permanently disables appends. CheckTail and reads keep working.
+  virtual void Seal() = 0;
+};
+
+}  // namespace delos

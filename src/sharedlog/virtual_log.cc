@@ -1,0 +1,155 @@
+#include "src/sharedlog/virtual_log.h"
+
+#include <algorithm>
+
+#include "src/common/errors.h"
+#include "src/common/logging.h"
+
+namespace delos {
+
+MetaStore::MetaStore(std::vector<LogletSegment> initial_chain) : chain_(std::move(initial_chain)) {
+  if (chain_.empty()) {
+    LOG_FATAL << "MetaStore requires a non-empty initial chain";
+  }
+}
+
+uint64_t MetaStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::vector<LogletSegment> MetaStore::GetChain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chain_;
+}
+
+bool MetaStore::CasChain(uint64_t expected_epoch, std::vector<LogletSegment> new_chain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_ != expected_epoch) {
+    return false;
+  }
+  chain_ = std::move(new_chain);
+  epoch_ += 1;
+  return true;
+}
+
+VirtualLog::VirtualLog(std::shared_ptr<MetaStore> meta, LogletFactory default_factory)
+    : meta_(std::move(meta)), default_factory_(std::move(default_factory)) {}
+
+Future<LogPos> VirtualLog::Append(std::string payload) {
+  auto promise = std::make_shared<Promise<LogPos>>();
+  Future<LogPos> future = promise->GetFuture();
+  TryAppend(std::move(payload), std::move(promise), /*attempts=*/4);
+  return future;
+}
+
+void VirtualLog::TryAppend(std::string payload, std::shared_ptr<Promise<LogPos>> promise,
+                           int attempts) {
+  const uint64_t epoch = meta_->epoch();
+  auto chain = meta_->GetChain();
+  std::shared_ptr<ISharedLog> active = chain.back().loglet;
+  active->Append(payload).Then([this, payload, promise, attempts,
+                                epoch](Result<LogPos> result) mutable {
+    if (result.ok()) {
+      promise->SetValue(std::move(result).value());
+      return;
+    }
+    try {
+      std::rethrow_exception(result.error());
+    } catch (const SealedError&) {
+      if (attempts <= 0) {
+        promise->SetException(result.error());
+        return;
+      }
+      // If nobody installed a successor yet, drive reconfiguration ourselves
+      // (Delos clients repair the chain they discover broken).
+      if (meta_->epoch() == epoch && default_factory_ != nullptr) {
+        try {
+          Reconfigure(default_factory_);
+        } catch (...) {
+          promise->SetException(std::current_exception());
+          return;
+        }
+      }
+      TryAppend(std::move(payload), std::move(promise), attempts - 1);
+    } catch (...) {
+      promise->SetException(result.error());
+    }
+  });
+}
+
+Future<LogPos> VirtualLog::CheckTail() {
+  auto chain = meta_->GetChain();
+  return chain.back().loglet->CheckTail();
+}
+
+std::vector<LogRecord> VirtualLog::ReadRange(LogPos lo, LogPos hi) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lo <= trim_prefix_) {
+      throw TrimmedError("read below trim prefix");
+    }
+  }
+  auto chain = meta_->GetChain();
+  std::vector<LogRecord> out;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const LogPos seg_lo = chain[i].start_pos;
+    const LogPos seg_hi = (i + 1 < chain.size()) ? chain[i + 1].start_pos - 1 : hi;
+    const LogPos sub_lo = std::max(lo, seg_lo);
+    const LogPos sub_hi = std::min(hi, seg_hi);
+    if (sub_lo > sub_hi) {
+      continue;
+    }
+    auto records = chain[i].loglet->ReadRange(sub_lo, sub_hi);
+    out.insert(out.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.pos < b.pos; });
+  return out;
+}
+
+void VirtualLog::Trim(LogPos prefix) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trim_prefix_ = std::max(trim_prefix_, prefix);
+  }
+  auto chain = meta_->GetChain();
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].start_pos > prefix) {
+      break;
+    }
+    const LogPos seg_hi =
+        (i + 1 < chain.size()) ? chain[i + 1].start_pos - 1 : prefix;
+    chain[i].loglet->Trim(std::min(prefix, seg_hi));
+  }
+}
+
+LogPos VirtualLog::trim_prefix() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trim_prefix_;
+}
+
+void VirtualLog::Seal() { meta_->GetChain().back().loglet->Seal(); }
+
+void VirtualLog::Reconfigure(const LogletFactory& factory) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const uint64_t epoch = meta_->epoch();
+    auto chain = meta_->GetChain();
+    std::shared_ptr<ISharedLog> active = chain.back().loglet;
+    active->Seal();
+    const LogPos sealed_tail = active->CheckTail().Get();
+    std::shared_ptr<ISharedLog> successor = factory(sealed_tail, epoch + 1);
+    auto new_chain = chain;
+    new_chain.push_back(LogletSegment{sealed_tail, std::move(successor)});
+    if (meta_->CasChain(epoch, std::move(new_chain))) {
+      return;
+    }
+    if (meta_->epoch() > epoch) {
+      return;  // A concurrent reconfiguration won; the chain is repaired.
+    }
+  }
+  throw LogUnavailableError("reconfiguration failed after retries");
+}
+
+}  // namespace delos

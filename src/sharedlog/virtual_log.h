@@ -1,0 +1,77 @@
+// VirtualLog: a shared log virtualized over a chain of loglets (the Delos
+// Virtual Consensus design [OSDI'20], which the paper's BaseEngine runs on).
+//
+// The chain lives in a MetaStore (a versioned register with compare-and-swap,
+// standing in for Delos's metadata store). Reconfiguration — used in
+// production for online consensus-protocol swaps — seals the active loglet
+// at a fixed tail and CASes a successor loglet into the chain starting at
+// that tail. Appends racing a seal fail with SealedError, refresh the chain,
+// and retry transparently.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sharedlog/shared_log.h"
+
+namespace delos {
+
+struct LogletSegment {
+  LogPos start_pos = 1;
+  std::shared_ptr<ISharedLog> loglet;
+};
+
+// Builds the successor loglet during reconfiguration.
+using LogletFactory = std::function<std::shared_ptr<ISharedLog>(LogPos start_pos, uint64_t epoch)>;
+
+// Versioned register holding the loglet chain; CAS models the consensus the
+// real metastore provides. Shared by all VirtualLog clients of a cluster.
+class MetaStore {
+ public:
+  explicit MetaStore(std::vector<LogletSegment> initial_chain);
+
+  uint64_t epoch() const;
+  std::vector<LogletSegment> GetChain() const;
+
+  // Installs new_chain iff the epoch still matches; bumps the epoch.
+  bool CasChain(uint64_t expected_epoch, std::vector<LogletSegment> new_chain);
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 1;
+  std::vector<LogletSegment> chain_;
+};
+
+class VirtualLog : public ISharedLog {
+ public:
+  // `default_factory`, when set, lets an appender that discovers a sealed
+  // active loglet (with no successor installed yet) drive reconfiguration
+  // itself, as Delos clients do.
+  VirtualLog(std::shared_ptr<MetaStore> meta, LogletFactory default_factory = nullptr);
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+  // Seals the active loglet and chains a successor built by `factory`
+  // starting at the sealed tail. Safe to race: exactly one CAS wins; losers
+  // observe the new chain and return.
+  void Reconfigure(const LogletFactory& factory);
+
+  uint64_t ChainLength() const { return meta_->GetChain().size(); }
+
+ private:
+  void TryAppend(std::string payload, std::shared_ptr<Promise<LogPos>> promise, int attempts);
+
+  std::shared_ptr<MetaStore> meta_;
+  LogletFactory default_factory_;
+  mutable std::mutex mu_;
+  LogPos trim_prefix_ = 0;
+};
+
+}  // namespace delos

@@ -1,0 +1,334 @@
+// Tests for the BaseEngine: replicated-RPC propose, linearizable sync with
+// coalesced tail checks, exception relay, trim clamping, recovery-by-replay.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "src/core/base_engine.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos {
+namespace {
+
+// Applicator that appends every payload to a list and echoes it back.
+class EchoApplicator : public IApplicator {
+ public:
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    txn.Put("applied/" + std::to_string(pos), entry.payload);
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.push_back(entry.payload);
+    return std::any(entry.payload);
+  }
+  void PostApply(const LogEntry& entry, LogPos pos) override { post_applies_.fetch_add(1); }
+
+  std::vector<std::string> order() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+  int post_applies() const { return post_applies_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> order_;
+  std::atomic<int> post_applies_{0};
+};
+
+// Applicator that throws on demand.
+class ThrowingApplicator : public IApplicator {
+ public:
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    if (entry.payload == "boom-deterministic") {
+      txn.Put("partial", "must-roll-back");
+      throw DeterministicError("boom");
+    }
+    if (entry.payload == "boom-nondeterministic") {
+      throw std::runtime_error("platform failure");
+    }
+    txn.Put("ok/" + std::to_string(pos), entry.payload);
+    return std::any(Unit{});
+  }
+};
+
+// Log wrapper that counts tail checks (for the coalescing test).
+class TailCountingLog : public ISharedLog {
+ public:
+  explicit TailCountingLog(std::shared_ptr<ISharedLog> inner) : inner_(std::move(inner)) {}
+  Future<LogPos> Append(std::string payload) override { return inner_->Append(std::move(payload)); }
+  Future<LogPos> CheckTail() override {
+    tail_checks_.fetch_add(1);
+    // Slow the check down so concurrent syncs pile up behind it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return inner_->CheckTail();
+  }
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override {
+    return inner_->ReadRange(lo, hi);
+  }
+  void Trim(LogPos prefix) override { inner_->Trim(prefix); }
+  LogPos trim_prefix() const override { return inner_->trim_prefix(); }
+  void Seal() override { inner_->Seal(); }
+  int tail_checks() const { return tail_checks_.load(); }
+
+ private:
+  std::shared_ptr<ISharedLog> inner_;
+  std::atomic<int> tail_checks_{0};
+};
+
+LogEntry PayloadEntry(std::string payload) {
+  LogEntry entry;
+  entry.payload = std::move(payload);
+  return entry;
+}
+
+TEST(BaseEngineTest, ProposeAppliesAndEchoes) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+
+  std::any result = engine.Propose(PayloadEntry("hello")).Get();
+  EXPECT_EQ(std::any_cast<std::string>(result), "hello");
+  EXPECT_EQ(engine.applied_position(), 1u);
+  EXPECT_EQ(app.post_applies(), 1);
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, ConcurrentProposalsAllApplyInLogOrder) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string payload = std::to_string(t) + ":" + std::to_string(i);
+        EXPECT_EQ(std::any_cast<std::string>(engine.Propose(PayloadEntry(payload)).Get()),
+                  payload);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const auto order = app.order();
+  EXPECT_EQ(order.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Apply order must equal log order.
+  auto records = log->ReadRange(1, kThreads * kPerThread);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(LogEntry::Deserialize(records[i].payload).payload, order[i]);
+  }
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, SyncReflectsCompletedWrites) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+
+  engine.Propose(PayloadEntry("w1")).Get();
+  ROTxn snap = engine.Sync().Get();
+  EXPECT_EQ(snap.Get("applied/1").value(), "w1");
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, SyncSeesRemoteWrites) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store_a;
+  LocalStore store_b;
+  EchoApplicator app_a;
+  EchoApplicator app_b;
+  BaseEngineOptions options_a;
+  options_a.server_id = "a";
+  BaseEngineOptions options_b;
+  options_b.server_id = "b";
+  BaseEngine engine_a(log, &store_a, options_a);
+  BaseEngine engine_b(log, &store_b, options_b);
+  engine_a.RegisterUpcall(&app_a);
+  engine_b.RegisterUpcall(&app_b);
+  engine_a.Start();
+  engine_b.Start();
+
+  engine_a.Propose(PayloadEntry("from-a")).Get();
+  ROTxn snap = engine_b.Sync().Get();
+  EXPECT_EQ(snap.Get("applied/1").value(), "from-a");
+  // Replica state machines agree.
+  EXPECT_EQ(store_a.Checksum(), store_b.Checksum());
+  engine_a.Stop();
+  engine_b.Stop();
+}
+
+TEST(BaseEngineTest, SyncsCoalesceBehindOneTailCheck) {
+  auto counting = std::make_shared<TailCountingLog>(std::make_shared<InMemoryLog>());
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(counting, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  engine.Propose(PayloadEntry("seed")).Get();
+
+  const int before = counting->tail_checks();
+  constexpr int kSyncs = 32;
+  std::vector<Future<ROTxn>> futures;
+  futures.reserve(kSyncs);
+  for (int i = 0; i < kSyncs; ++i) {
+    futures.push_back(engine.Sync());
+  }
+  for (auto& future : futures) {
+    future.Get();
+  }
+  const int used = counting->tail_checks() - before;
+  // 32 concurrent syncs should need far fewer than 32 checks.
+  EXPECT_LT(used, kSyncs / 2);
+  EXPECT_GE(used, 1);
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, DeterministicExceptionRelayedAndRolledBack) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  ThrowingApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+
+  EXPECT_THROW(engine.Propose(PayloadEntry("boom-deterministic")).Get(), DeterministicError);
+  // The thrower's writes were rolled back, but the entry was consumed (the
+  // cursor advanced) and the engine keeps going.
+  EXPECT_FALSE(store.Snapshot().Get("partial").has_value());
+  EXPECT_EQ(engine.applied_position(), 1u);
+  engine.Propose(PayloadEntry("fine")).Get();
+  EXPECT_TRUE(store.Snapshot().Get("ok/2").has_value());
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, NonDeterministicExceptionIsFatal) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  ThrowingApplicator app;
+  std::atomic<bool> fatal{false};
+  BaseEngineOptions options;
+  options.fatal_handler = [&](const std::string&) { fatal = true; };
+  BaseEngine engine(log, &store, options);
+  engine.RegisterUpcall(&app);
+  engine.Start();
+
+  engine.Propose(PayloadEntry("boom-nondeterministic"));
+  while (!fatal.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fatal.load());
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, InjectedCommitFaultIsFatal) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  std::atomic<bool> fatal{false};
+  BaseEngineOptions options;
+  options.fatal_handler = [&](const std::string&) { fatal = true; };
+  BaseEngine engine(log, &store, options);
+  engine.RegisterUpcall(&app);
+  engine.Start();
+
+  store.InjectCommitFault();
+  engine.Propose(PayloadEntry("doomed"));
+  while (!fatal.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, RecoveryReplaysFromCursor) {
+  auto log = std::make_shared<InMemoryLog>();
+  const std::string path = testing::TempDir() + "/base_recovery.ckpt";
+  std::filesystem::remove(path);
+  {
+    auto store = LocalStore::Open({path});
+    EchoApplicator app;
+    BaseEngine engine(log, store.get(), BaseEngineOptions{});
+    engine.RegisterUpcall(&app);
+    engine.Start();
+    engine.Propose(PayloadEntry("one")).Get();
+    engine.Propose(PayloadEntry("two")).Get();
+    engine.FlushNow();
+    engine.Propose(PayloadEntry("three")).Get();
+    engine.Stop();
+    // "three" was applied but never flushed: it is lost with the crash and
+    // must come back from the log.
+  }
+  auto store = LocalStore::Open({path});
+  EXPECT_FALSE(store->Snapshot().Get("applied/3").has_value());
+  EchoApplicator app;
+  BaseEngine engine(log, store.get(), BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  ROTxn snap = engine.Sync().Get();
+  EXPECT_EQ(snap.Get("applied/3").value(), "three");
+  // Only the unflushed suffix was replayed.
+  EXPECT_EQ(app.order(), std::vector<std::string>{"three"});
+  engine.Stop();
+  std::filesystem::remove(path);
+}
+
+TEST(BaseEngineTest, TrimClampedToDurablePosition) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  for (int i = 0; i < 10; ++i) {
+    engine.Propose(PayloadEntry("e" + std::to_string(i))).Get();
+  }
+  // Nothing flushed yet: durable position is 0, so nothing may be trimmed.
+  engine.SetTrimPrefix(10);
+  engine.TrimNow();
+  EXPECT_EQ(log->trim_prefix(), 0u);
+
+  engine.FlushNow();
+  engine.TrimNow();
+  EXPECT_EQ(log->trim_prefix(), 10u);
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, NoTrimWithoutConstraint) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  engine.Propose(PayloadEntry("x")).Get();
+  engine.FlushNow();
+  engine.TrimNow();
+  EXPECT_EQ(log->trim_prefix(), 0u);
+  engine.Stop();
+}
+
+TEST(BaseEngineTest, StopFailsPendingWork) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine engine(log, &store, BaseEngineOptions{});
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  engine.Propose(PayloadEntry("ok")).Get();
+  engine.Stop();
+  EXPECT_THROW(engine.Sync().Get(), DelosError);
+}
+
+}  // namespace
+}  // namespace delos

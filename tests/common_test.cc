@@ -1,0 +1,367 @@
+// Unit tests for src/common: serde, futures, metrics, checksum, clocks,
+// blocking queue, scheduler.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/blocking_queue.h"
+#include "src/common/checksum.h"
+#include "src/common/clock.h"
+#include "src/common/future.h"
+#include "src/common/metrics.h"
+#include "src/common/random.h"
+#include "src/common/scheduler.h"
+#include "src/common/serde.h"
+
+namespace delos {
+namespace {
+
+// --- serde ---
+
+TEST(SerdeTest, VarintRoundTrip) {
+  Serializer ser;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384, UINT64_MAX};
+  for (uint64_t v : values) {
+    ser.WriteVarint(v);
+  }
+  Deserializer de(ser.buffer());
+  for (uint64_t v : values) {
+    EXPECT_EQ(de.ReadVarint(), v);
+  }
+  EXPECT_TRUE(de.AtEnd());
+}
+
+TEST(SerdeTest, SignedZigzagRoundTrip) {
+  Serializer ser;
+  const int64_t values[] = {0, -1, 1, -2, 63, -64, INT64_MAX, INT64_MIN};
+  for (int64_t v : values) {
+    ser.WriteSigned(v);
+  }
+  Deserializer de(ser.buffer());
+  for (int64_t v : values) {
+    EXPECT_EQ(de.ReadSigned(), v);
+  }
+}
+
+TEST(SerdeTest, StringRoundTrip) {
+  Serializer ser;
+  ser.WriteString("");
+  ser.WriteString("hello");
+  ser.WriteString(std::string("\x00\x01\xff", 3));
+  Deserializer de(ser.buffer());
+  EXPECT_EQ(de.ReadString(), "");
+  EXPECT_EQ(de.ReadString(), "hello");
+  EXPECT_EQ(de.ReadString(), std::string("\x00\x01\xff", 3));
+}
+
+TEST(SerdeTest, DoubleAndBoolRoundTrip) {
+  Serializer ser;
+  ser.WriteDouble(3.14159);
+  ser.WriteDouble(-0.0);
+  ser.WriteBool(true);
+  ser.WriteBool(false);
+  Deserializer de(ser.buffer());
+  EXPECT_DOUBLE_EQ(de.ReadDouble(), 3.14159);
+  EXPECT_DOUBLE_EQ(de.ReadDouble(), -0.0);
+  EXPECT_TRUE(de.ReadBool());
+  EXPECT_FALSE(de.ReadBool());
+}
+
+TEST(SerdeTest, OptionalVectorMapRoundTrip) {
+  Serializer ser;
+  ser.WriteOptional(std::optional<std::string>("x"),
+                    [](Serializer& s, const std::string& v) { s.WriteString(v); });
+  ser.WriteOptional(std::optional<std::string>{},
+                    [](Serializer& s, const std::string& v) { s.WriteString(v); });
+  ser.WriteVector(std::vector<std::string>{"a", "b"},
+                  [](Serializer& s, const std::string& v) { s.WriteString(v); });
+  std::map<std::string, std::string> m{{"k1", "v1"}, {"k2", "v2"}};
+  ser.WriteMap(
+      m, [](Serializer& s, const std::string& k) { s.WriteString(k); },
+      [](Serializer& s, const std::string& v) { s.WriteString(v); });
+
+  Deserializer de(ser.buffer());
+  auto opt1 = de.ReadOptional<std::string>([](Deserializer& d) { return d.ReadString(); });
+  ASSERT_TRUE(opt1.has_value());
+  EXPECT_EQ(*opt1, "x");
+  auto opt2 = de.ReadOptional<std::string>([](Deserializer& d) { return d.ReadString(); });
+  EXPECT_FALSE(opt2.has_value());
+  auto vec = de.ReadVector<std::string>([](Deserializer& d) { return d.ReadString(); });
+  EXPECT_EQ(vec, (std::vector<std::string>{"a", "b"}));
+  auto map = de.ReadMap<std::string, std::string>(
+      [](Deserializer& d) { return d.ReadString(); },
+      [](Deserializer& d) { return d.ReadString(); });
+  EXPECT_EQ(map, m);
+}
+
+TEST(SerdeTest, TruncationThrows) {
+  Serializer ser;
+  ser.WriteString("hello world");
+  const std::string bytes = ser.buffer().substr(0, 3);
+  Deserializer de(bytes);
+  EXPECT_THROW(de.ReadString(), SerdeError);
+}
+
+TEST(SerdeTest, MalformedVarintThrows) {
+  const std::string bytes(11, '\xff');  // continuation bit forever
+  Deserializer de(bytes);
+  EXPECT_THROW(de.ReadVarint(), SerdeError);
+}
+
+// --- future ---
+
+TEST(FutureTest, SetBeforeGet) {
+  Promise<int> promise;
+  promise.SetValue(42);
+  EXPECT_EQ(promise.GetFuture().Get(), 42);
+}
+
+TEST(FutureTest, GetBlocksUntilSet) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    promise.SetValue(7);
+  });
+  EXPECT_EQ(future.Get(), 7);
+  setter.join();
+}
+
+TEST(FutureTest, ExceptionPropagates) {
+  Promise<int> promise;
+  promise.SetException(std::make_exception_ptr(DelosError("boom")));
+  EXPECT_THROW(promise.GetFuture().Get(), DelosError);
+}
+
+TEST(FutureTest, ThenRunsInlineWhenReady) {
+  Promise<int> promise;
+  promise.SetValue(5);
+  int seen = 0;
+  promise.GetFuture().Then([&](Result<int> r) { seen = r.value(); });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(FutureTest, ThenRunsOnFulfillingThread) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  std::atomic<int> seen{0};
+  future.Then([&](Result<int> r) { seen = r.value(); });
+  promise.SetValue(9);
+  EXPECT_EQ(seen.load(), 9);
+}
+
+TEST(FutureTest, BrokenPromiseDeliversError) {
+  Future<int> future;
+  {
+    Promise<int> promise;
+    future = promise.GetFuture();
+  }
+  EXPECT_THROW(future.Get(), BrokenPromiseError);
+}
+
+TEST(FutureTest, GetForTimesOut) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  EXPECT_FALSE(future.GetFor(std::chrono::microseconds(1000)).has_value());
+  promise.SetValue(1);
+  EXPECT_EQ(future.GetFor(std::chrono::microseconds(1000)).value(), 1);
+}
+
+TEST(FutureTest, MultipleCopiesShareResult) {
+  Promise<std::string> promise;
+  Future<std::string> a = promise.GetFuture();
+  Future<std::string> b = a;
+  promise.SetValue("shared");
+  EXPECT_EQ(a.Get(), "shared");
+  EXPECT_EQ(b.Get(), "shared");
+}
+
+// --- metrics ---
+
+TEST(MetricsTest, HistogramPercentiles) {
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(i);
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+  // Log-bucketed: allow ~10% relative error.
+  EXPECT_NEAR(static_cast<double>(hist.Percentile(50)), 500, 60);
+  EXPECT_NEAR(static_cast<double>(hist.Percentile(99)), 990, 100);
+  EXPECT_EQ(hist.Max(), 1000);
+  EXPECT_NEAR(hist.Mean(), 500.5, 1.0);
+}
+
+TEST(MetricsTest, HistogramMerge) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Max(), 1000);
+}
+
+TEST(MetricsTest, HistogramLargeValues) {
+  Histogram hist;
+  hist.Record(50'000'000);  // 50 s
+  EXPECT_GE(hist.Percentile(50), 45'000'000);
+}
+
+TEST(MetricsTest, RegistryCreatesLazily) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("ops");
+  c->Increment(3);
+  EXPECT_EQ(registry.GetCounter("ops")->value(), 3u);
+  registry.GetHistogram("lat")->Record(5);
+  EXPECT_NE(registry.Render().find("ops value=3"), std::string::npos);
+}
+
+// --- checksum ---
+
+TEST(ChecksumTest, OrderIndependent) {
+  IncrementalChecksum a;
+  IncrementalChecksum b;
+  a.Add("k1", "v1");
+  a.Add("k2", "v2");
+  b.Add("k2", "v2");
+  b.Add("k1", "v1");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(ChecksumTest, AddRemoveRestores) {
+  IncrementalChecksum check;
+  check.Add("k1", "v1");
+  const uint64_t before = check.digest();
+  check.Add("k2", "v2");
+  check.Remove("k2", "v2");
+  EXPECT_EQ(check.digest(), before);
+}
+
+TEST(ChecksumTest, KeyValueBoundaryMatters) {
+  EXPECT_NE(IncrementalChecksum::PairHash("ab", "c"), IncrementalChecksum::PairHash("a", "bc"));
+}
+
+TEST(ChecksumTest, DifferentContentsDiffer) {
+  IncrementalChecksum a;
+  IncrementalChecksum b;
+  a.Add("k", "v1");
+  b.Add("k", "v2");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+// --- clock ---
+
+TEST(ClockTest, SimClockAdvance) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+}
+
+TEST(ClockTest, SimClockWakesSleepers) {
+  SimClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.SleepMicros(1000);
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(woke.load());
+  clock.Advance(1000);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ClockTest, SkewedClockOffsets) {
+  SimClock base(1000);
+  SkewedClock skewed(&base, 250);
+  EXPECT_EQ(skewed.NowMicros(), 1250);
+  skewed.set_skew_micros(-250);
+  EXPECT_EQ(skewed.NowMicros(), 750);
+}
+
+// --- blocking queue ---
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+}
+
+TEST(BlockingQueueTest, CloseDrainsAndStops) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(2));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PopBlocksForPush) {
+  BlockingQueue<int> queue;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.Push(42);
+  });
+  EXPECT_EQ(queue.Pop().value(), 42);
+  producer.join();
+}
+
+// --- scheduler ---
+
+TEST(SchedulerTest, RunsAfterDelay) {
+  TimerScheduler scheduler;
+  std::atomic<bool> ran{false};
+  const int64_t start = RealClock::Instance()->NowMicros();
+  std::atomic<int64_t> ran_at{0};
+  scheduler.Schedule(5000, [&] {
+    ran_at = RealClock::Instance()->NowMicros();
+    ran = true;
+  });
+  while (!ran.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(ran_at.load() - start, 4500);
+}
+
+TEST(SchedulerTest, OrdersByDeadline) {
+  TimerScheduler scheduler;
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  scheduler.Schedule(10000, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(2);
+    ++done;
+  });
+  scheduler.Schedule(2000, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+    ++done;
+  });
+  while (done.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --- rng ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, StringLength) {
+  Rng rng(1);
+  EXPECT_EQ(rng.String(16).size(), 16u);
+}
+
+}  // namespace
+}  // namespace delos

@@ -1,0 +1,196 @@
+// Tests for the LZ codec and the CompressionEngine (payload mutation en
+// route to the log, transparent to the application).
+#include <gtest/gtest.h>
+
+#include "src/apps/delostable/table_db.h"
+#include "src/common/compress.h"
+#include "src/common/random.h"
+#include "src/core/base_engine.h"
+#include "src/engines/compression_engine.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos {
+namespace {
+
+// --- codec ---
+
+TEST(CompressTest, RoundTripBasics) {
+  for (const std::string& input :
+       {std::string(""), std::string("a"), std::string("abc"),
+        std::string("hello world hello world hello world"), std::string(1000, 'x'),
+        std::string("\0\0\0\1\2\3\0\0\0\1\2\3", 12)}) {
+    EXPECT_EQ(Decompress(Compress(input)), input);
+  }
+}
+
+TEST(CompressTest, CompressesRepetitiveData) {
+  const std::string repetitive(4096, 'z');
+  const std::string compressed = Compress(repetitive);
+  EXPECT_LT(compressed.size(), repetitive.size() / 10);
+  EXPECT_EQ(Decompress(compressed), repetitive);
+}
+
+TEST(CompressTest, CompressesStructuredPayloads) {
+  // Serialized-row-like content: repeated field names.
+  std::string payload;
+  for (int i = 0; i < 50; ++i) {
+    payload += "column_name_owner=user" + std::to_string(i) + ";column_name_region=emea;";
+  }
+  const std::string compressed = Compress(payload);
+  EXPECT_LT(compressed.size(), payload.size() / 2);
+  EXPECT_EQ(Decompress(compressed), payload);
+}
+
+TEST(CompressTest, RandomDataRoundTrips) {
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    std::string input;
+    const int chunks = static_cast<int>(rng.Uniform(0, 20));
+    for (int c = 0; c < chunks; ++c) {
+      if (rng.Bernoulli(0.5)) {
+        input += rng.String(rng.Uniform(1, 40));
+      } else {
+        input += std::string(rng.Uniform(1, 60), static_cast<char>(rng.Uniform(0, 255)));
+      }
+    }
+    EXPECT_EQ(Decompress(Compress(input)), input);
+  }
+}
+
+TEST(CompressTest, OverlappingMatchesDecodeCorrectly) {
+  // "abcabcabc..." forces self-overlapping match copies.
+  std::string input;
+  for (int i = 0; i < 300; ++i) {
+    input += "abc";
+  }
+  EXPECT_EQ(Decompress(Compress(input)), input);
+}
+
+TEST(CompressTest, CorruptInputThrows) {
+  const std::string compressed = Compress(std::string(100, 'q'));
+  // Truncation.
+  const std::string truncated = compressed.substr(0, compressed.size() / 2);
+  EXPECT_THROW(Decompress(truncated), SerdeError);
+  // Garbage.
+  EXPECT_THROW(Decompress("\xff\xff\xff\xff"), SerdeError);
+}
+
+// --- engine ---
+
+class EchoApplicator : public IApplicator {
+ public:
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    txn.Put("seen/" + std::to_string(pos), entry.payload);
+    return std::any(entry.payload);
+  }
+  void PostApply(const LogEntry& entry, LogPos pos) override { last_post_payload_ = entry.payload; }
+  std::string last_post_payload_;
+};
+
+TEST(CompressionEngineTest, TransparentToApplication) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine base(log, &store, BaseEngineOptions{});
+  CompressionEngine::Options options;
+  options.min_payload_bytes = 16;
+  CompressionEngine compression(options, &base, &store);
+  compression.RegisterUpcall(&app);
+  base.Start();
+
+  const std::string payload(500, 'r');
+  LogEntry entry;
+  entry.payload = payload;
+  // The application sees (and echoes) the original payload.
+  EXPECT_EQ(std::any_cast<std::string>(compression.Propose(entry).Get()), payload);
+  EXPECT_EQ(store.Snapshot().Get("seen/1").value(), payload);
+  EXPECT_EQ(app.last_post_payload_, payload);
+
+  // But the log stores the compressed form.
+  const LogEntry stored = LogEntry::Deserialize(log->ReadRange(1, 1)[0].payload);
+  EXPECT_LT(stored.payload.size(), payload.size());
+  EXPECT_EQ(stored.GetHeader("compression")->blob, "1");
+  EXPECT_GT(compression.bytes_in(), compression.bytes_out());
+  base.Stop();
+}
+
+TEST(CompressionEngineTest, SmallPayloadsPassThrough) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  EchoApplicator app;
+  BaseEngine base(log, &store, BaseEngineOptions{});
+  CompressionEngine::Options options;
+  options.min_payload_bytes = 64;
+  CompressionEngine compression(options, &base, &store);
+  compression.RegisterUpcall(&app);
+  base.Start();
+
+  LogEntry entry;
+  entry.payload = "tiny";
+  compression.Propose(entry).Get();
+  const LogEntry stored = LogEntry::Deserialize(log->ReadRange(1, 1)[0].payload);
+  EXPECT_EQ(stored.payload, "tiny");
+  EXPECT_EQ(stored.GetHeader("compression")->blob, "0");
+  base.Stop();
+}
+
+TEST(CompressionEngineTest, ReplicasAgreeAcrossCompressedEntries) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store_a;
+  LocalStore store_b;
+  EchoApplicator app_a;
+  EchoApplicator app_b;
+  BaseEngineOptions opt_a;
+  opt_a.server_id = "a";
+  BaseEngineOptions opt_b;
+  opt_b.server_id = "b";
+  BaseEngine base_a(log, &store_a, opt_a);
+  BaseEngine base_b(log, &store_b, opt_b);
+  CompressionEngine::Options options;
+  options.min_payload_bytes = 16;
+  CompressionEngine comp_a(options, &base_a, &store_a);
+  CompressionEngine comp_b(options, &base_b, &store_b);
+  comp_a.RegisterUpcall(&app_a);
+  comp_b.RegisterUpcall(&app_b);
+  base_a.Start();
+  base_b.Start();
+
+  LogEntry entry;
+  entry.payload = std::string(300, 'c') + "unique-suffix";
+  comp_a.Propose(entry).Get();
+  base_b.Sync().Get();
+  EXPECT_EQ(store_a.Checksum(), store_b.Checksum());
+  base_a.Stop();
+  base_b.Stop();
+}
+
+TEST(CompressionEngineTest, WorksUnderDelosTable) {
+  // Full transparency check with a real application above it.
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store;
+  table::TableApplicator app;
+  BaseEngine base(log, &store, BaseEngineOptions{});
+  CompressionEngine::Options options;
+  options.min_payload_bytes = 32;
+  CompressionEngine compression(options, &base, &store);
+  compression.RegisterUpcall(&app);
+  base.Start();
+  table::TableClient client(&compression);
+
+  table::TableSchema schema;
+  schema.name = "docs";
+  schema.columns = {{"id", table::ValueType::kInt64}, {"body", table::ValueType::kString}};
+  schema.primary_key = "id";
+  client.CreateTable(schema);
+  const std::string body(2000, 'd');
+  client.Insert("docs", {{"id", table::Value{int64_t{1}}},
+                         {"body", table::Value{body}}});
+  auto row = client.Get("docs", table::Value{int64_t{1}});
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(std::get<std::string>((*row)["body"]), body);
+  EXPECT_GT(compression.bytes_in(), compression.bytes_out() * 2);
+  base.Stop();
+}
+
+}  // namespace
+}  // namespace delos

@@ -1,0 +1,196 @@
+// DelosQ (queue service) and DelosLock (lock service) tests — the two
+// rapidly built Delos databases from §6.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/apps/delosq/delosq.h"
+#include "src/apps/locks/lock_service.h"
+#include "src/core/base_engine.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos {
+namespace {
+
+// --- DelosQ ---
+
+class DelosQTest : public testing::Test {
+ protected:
+  DelosQTest() {
+    log_ = std::make_shared<InMemoryLog>();
+    base_ = std::make_unique<BaseEngine>(log_, &store_, BaseEngineOptions{});
+    base_->RegisterUpcall(&applicator_);
+    base_->Start();
+    client_ = std::make_unique<delosq::QueueClient>(base_.get());
+  }
+  ~DelosQTest() override { base_->Stop(); }
+
+  std::shared_ptr<InMemoryLog> log_;
+  LocalStore store_;
+  delosq::QueueApplicator applicator_;
+  std::unique_ptr<BaseEngine> base_;
+  std::unique_ptr<delosq::QueueClient> client_;
+};
+
+TEST_F(DelosQTest, FifoPushPop) {
+  client_->CreateQueue("q");
+  EXPECT_EQ(client_->Push("q", "a"), 0u);
+  EXPECT_EQ(client_->Push("q", "b"), 1u);
+  EXPECT_EQ(client_->Size("q"), 2u);
+  EXPECT_EQ(client_->Peek("q").value(), "a");
+  EXPECT_EQ(client_->Pop("q").value(), "a");
+  EXPECT_EQ(client_->Pop("q").value(), "b");
+  EXPECT_FALSE(client_->Pop("q").has_value());
+  EXPECT_EQ(client_->Size("q"), 0u);
+}
+
+TEST_F(DelosQTest, Errors) {
+  EXPECT_THROW(client_->Push("nope", "x"), delosq::NoSuchQueueError);
+  EXPECT_THROW(client_->Size("nope"), delosq::NoSuchQueueError);
+  client_->CreateQueue("q");
+  EXPECT_THROW(client_->CreateQueue("q"), delosq::QueueExistsError);
+}
+
+TEST_F(DelosQTest, DropQueueDeletesElements) {
+  client_->CreateQueue("q");
+  client_->Push("q", "a");
+  client_->DropQueue("q");
+  EXPECT_TRUE(store_.Snapshot().ScanPrefix("q/e/q/").empty());
+  EXPECT_THROW(client_->Pop("q"), delosq::NoSuchQueueError);
+}
+
+TEST_F(DelosQTest, ListQueues) {
+  client_->CreateQueue("alpha");
+  client_->CreateQueue("beta");
+  EXPECT_EQ(client_->ListQueues(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(DelosQTest, ConcurrentProducersConsumersLoseNothing) {
+  client_->CreateQueue("jobs");
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 30;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        client_->Push("jobs", std::to_string(p) + "/" + std::to_string(i));
+      }
+    });
+  }
+  std::mutex popped_mu;
+  std::set<std::string> popped;
+  std::vector<std::thread> consumers;
+  std::atomic<int> total_popped{0};
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (total_popped.load() < kProducers * kPerProducer) {
+        auto item = client_->Pop("jobs");
+        if (item.has_value()) {
+          std::lock_guard<std::mutex> lock(popped_mu);
+          popped.insert(*item);
+          total_popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(popped.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+// --- DelosLock ---
+
+class LockTest : public testing::Test {
+ protected:
+  LockTest() {
+    log_ = std::make_shared<InMemoryLog>();
+    base_ = std::make_unique<BaseEngine>(log_, &store_, BaseEngineOptions{});
+    base_->RegisterUpcall(&applicator_);
+    base_->Start();
+    client_ = std::make_unique<locks::LockClient>(base_.get(), &applicator_);
+  }
+  ~LockTest() override { base_->Stop(); }
+
+  std::shared_ptr<InMemoryLog> log_;
+  LocalStore store_;
+  locks::LockApplicator applicator_;
+  std::unique_ptr<BaseEngine> base_;
+  std::unique_ptr<locks::LockClient> client_;
+};
+
+TEST_F(LockTest, Exclusive) {
+  EXPECT_TRUE(client_->Acquire("l", "alice"));
+  EXPECT_FALSE(client_->Acquire("l", "bob"));
+  EXPECT_EQ(client_->Owner("l"), "alice");
+  EXPECT_TRUE(client_->Acquire("l", "alice"));  // reentrant no-op
+}
+
+TEST_F(LockTest, ReleaseHandsOffToWaiterFifo) {
+  client_->Acquire("l", "alice");
+  client_->Acquire("l", "bob");
+  client_->Acquire("l", "carol");
+  client_->Release("l", "alice");
+  EXPECT_EQ(client_->Owner("l"), "bob");
+  client_->Release("l", "bob");
+  EXPECT_EQ(client_->Owner("l"), "carol");
+  client_->Release("l", "carol");
+  EXPECT_EQ(client_->Owner("l"), "");
+}
+
+TEST_F(LockTest, ReleaseByNonOwnerThrows) {
+  client_->Acquire("l", "alice");
+  EXPECT_THROW(client_->Release("l", "mallory"), locks::NotLockOwnerError);
+}
+
+TEST_F(LockTest, WaiterCanAbandonSlot) {
+  client_->Acquire("l", "alice");
+  client_->Acquire("l", "bob");
+  client_->Release("l", "bob");  // bob abandons its waiter slot
+  client_->Release("l", "alice");
+  EXPECT_EQ(client_->Owner("l"), "");
+}
+
+TEST_F(LockTest, AcquireWaitBlocksUntilGrant) {
+  client_->Acquire("l", "alice");
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    granted = client_->AcquireWait("l", "bob", /*timeout_micros=*/2'000'000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(granted.load());
+  client_->Release("l", "alice");
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(client_->Owner("l"), "bob");
+}
+
+TEST_F(LockTest, AcquireWaitTimesOut) {
+  client_->Acquire("l", "alice");
+  EXPECT_FALSE(client_->AcquireWait("l", "bob", /*timeout_micros=*/20'000));
+}
+
+TEST_F(LockTest, ManyContendersAllEventuallyHold) {
+  constexpr int kContenders = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> holds{0};
+  for (int i = 0; i < kContenders; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string owner = "w" + std::to_string(i);
+      ASSERT_TRUE(client_->AcquireWait("hot", owner, 5'000'000));
+      holds.fetch_add(1);
+      client_->Release("hot", owner);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(holds.load(), kContenders);
+  EXPECT_EQ(client_->Owner("hot"), "");
+}
+
+}  // namespace
+}  // namespace delos

@@ -1,0 +1,368 @@
+// Unit + property tests for the LocalStore: transactions, MVCC snapshots,
+// nested sub-transactions, checkpoints, checksums, fault injection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/common/random.h"
+#include "src/localstore/localstore.h"
+
+namespace delos {
+namespace {
+
+TEST(LocalStoreTest, PutGetDelete) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("a", "1");
+    txn.Put("b", "2");
+    txn.Commit();
+  }
+  ROTxn snap = store.Snapshot();
+  EXPECT_EQ(snap.Get("a").value(), "1");
+  EXPECT_EQ(snap.Get("b").value(), "2");
+  EXPECT_FALSE(snap.Get("c").has_value());
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Delete("a");
+    txn.Commit();
+  }
+  EXPECT_FALSE(store.Snapshot().Get("a").has_value());
+  // The earlier snapshot still sees the old state (MVCC).
+  EXPECT_EQ(snap.Get("a").value(), "1");
+}
+
+TEST(LocalStoreTest, ReadYourWrites) {
+  LocalStore store;
+  RWTxn txn = store.BeginRW();
+  txn.Put("k", "v1");
+  EXPECT_EQ(txn.Get("k").value(), "v1");
+  txn.Put("k", "v2");
+  EXPECT_EQ(txn.Get("k").value(), "v2");
+  txn.Delete("k");
+  EXPECT_FALSE(txn.Get("k").has_value());
+  txn.Commit();
+  EXPECT_FALSE(store.Snapshot().Get("k").has_value());
+}
+
+TEST(LocalStoreTest, AbortDiscardsWrites) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("k", "v");
+    txn.Abort();
+  }
+  EXPECT_FALSE(store.Snapshot().Get("k").has_value());
+  EXPECT_EQ(store.committed_version(), 0u);
+}
+
+TEST(LocalStoreTest, DroppedTxnActsAsAbort) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("k", "v");
+  }
+  EXPECT_FALSE(store.Snapshot().Get("k").has_value());
+  // The writer slot is released; a new transaction can begin.
+  RWTxn txn = store.BeginRW();
+  txn.Commit();
+}
+
+TEST(LocalStoreTest, SavepointRollback) {
+  LocalStore store;
+  RWTxn txn = store.BeginRW();
+  txn.Put("a", "1");
+  const Savepoint sp = txn.MakeSavepoint();
+  txn.Put("b", "2");
+  txn.Put("a", "overwritten");
+  txn.RollbackTo(sp);
+  EXPECT_EQ(txn.Get("a").value(), "1");
+  EXPECT_FALSE(txn.Get("b").has_value());
+  txn.Commit();
+  EXPECT_EQ(store.Snapshot().Get("a").value(), "1");
+  EXPECT_FALSE(store.Snapshot().Get("b").has_value());
+}
+
+TEST(LocalStoreTest, NestedSavepoints) {
+  LocalStore store;
+  RWTxn txn = store.BeginRW();
+  txn.Put("l0", "x");
+  const Savepoint sp1 = txn.MakeSavepoint();
+  txn.Put("l1", "x");
+  const Savepoint sp2 = txn.MakeSavepoint();
+  txn.Put("l2", "x");
+  txn.RollbackTo(sp2);
+  EXPECT_TRUE(txn.Get("l1").has_value());
+  EXPECT_FALSE(txn.Get("l2").has_value());
+  txn.RollbackTo(sp1);
+  EXPECT_TRUE(txn.Get("l0").has_value());
+  EXPECT_FALSE(txn.Get("l1").has_value());
+  txn.Commit();
+}
+
+TEST(LocalStoreTest, SnapshotIsolation) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("k", "v1");
+    txn.Commit();
+  }
+  ROTxn old_snap = store.Snapshot();
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("k", "v2");
+    txn.Commit();
+  }
+  EXPECT_EQ(old_snap.Get("k").value(), "v1");
+  EXPECT_EQ(store.Snapshot().Get("k").value(), "v2");
+}
+
+TEST(LocalStoreTest, ScanRangeAndPrefix) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("p/a", "1");
+    txn.Put("p/b", "2");
+    txn.Put("q/c", "3");
+    txn.Commit();
+  }
+  ROTxn snap = store.Snapshot();
+  auto pairs = snap.ScanPrefix("p/");
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, "p/a");
+  EXPECT_EQ(pairs[1].first, "p/b");
+
+  size_t count = 0;
+  snap.Scan("p/a", "q/c", [&](std::string_view, std::string_view) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2u);  // end is exclusive
+
+  // Empty end = unbounded.
+  count = 0;
+  snap.Scan("p/", "", [&](std::string_view, std::string_view) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(LocalStoreTest, RWTxnMergedScan) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("a", "committed");
+    txn.Put("b", "committed");
+    txn.Commit();
+  }
+  RWTxn txn = store.BeginRW();
+  txn.Put("c", "pending");
+  txn.Delete("a");
+  txn.Put("b", "overlaid");
+  auto pairs = txn.ScanPrefix("");
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<std::string, std::string>{"b", "overlaid"}));
+  EXPECT_EQ(pairs[1], (std::pair<std::string, std::string>{"c", "pending"}));
+  txn.Abort();
+}
+
+TEST(LocalStoreTest, ChecksumMatchesAcrossHistories) {
+  // Two stores reaching the same live state via different write orders must
+  // agree on the checksum (the replica-divergence detector of §6).
+  LocalStore a;
+  LocalStore b;
+  {
+    RWTxn txn = a.BeginRW();
+    txn.Put("k1", "v1");
+    txn.Commit();
+  }
+  {
+    RWTxn txn = a.BeginRW();
+    txn.Put("k2", "v2");
+    txn.Put("k3", "temp");
+    txn.Commit();
+  }
+  {
+    RWTxn txn = a.BeginRW();
+    txn.Delete("k3");
+    txn.Commit();
+  }
+  {
+    RWTxn txn = b.BeginRW();
+    txn.Put("k2", "v2");
+    txn.Put("k1", "v1");
+    txn.Commit();
+  }
+  EXPECT_EQ(a.Checksum(), b.Checksum());
+  EXPECT_EQ(a.KeyCount(), 2u);
+}
+
+TEST(LocalStoreTest, ChecksumDetectsDivergence) {
+  LocalStore a;
+  LocalStore b;
+  {
+    RWTxn txn = a.BeginRW();
+    txn.Put("k", "v1");
+    txn.Commit();
+  }
+  {
+    RWTxn txn = b.BeginRW();
+    txn.Put("k", "v2");
+    txn.Commit();
+  }
+  EXPECT_NE(a.Checksum(), b.Checksum());
+}
+
+TEST(LocalStoreTest, CheckpointRoundTrip) {
+  const std::string path = testing::TempDir() + "/ckpt_roundtrip.ckpt";
+  std::filesystem::remove(path);
+  {
+    auto store = LocalStore::Open({path});
+    RWTxn txn = store->BeginRW();
+    txn.Put("a", "1");
+    txn.Put("b", "2");
+    txn.Commit();
+    store->Flush();
+    EXPECT_EQ(store->flushed_version(), store->committed_version());
+  }
+  auto restored = LocalStore::Open({path});
+  EXPECT_EQ(restored->Snapshot().Get("a").value(), "1");
+  EXPECT_EQ(restored->Snapshot().Get("b").value(), "2");
+  EXPECT_EQ(restored->KeyCount(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(LocalStoreTest, CheckpointOmitsUnflushedWrites) {
+  const std::string path = testing::TempDir() + "/ckpt_unflushed.ckpt";
+  std::filesystem::remove(path);
+  {
+    auto store = LocalStore::Open({path});
+    {
+      RWTxn txn = store->BeginRW();
+      txn.Put("flushed", "yes");
+      txn.Commit();
+    }
+    store->Flush();
+    {
+      RWTxn txn = store->BeginRW();
+      txn.Put("unflushed", "lost");
+      txn.Commit();
+    }
+    // No flush: the second write must not survive the "crash".
+  }
+  auto restored = LocalStore::Open({path});
+  EXPECT_TRUE(restored->Snapshot().Get("flushed").has_value());
+  EXPECT_FALSE(restored->Snapshot().Get("unflushed").has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(LocalStoreTest, CorruptCheckpointRejected) {
+  const std::string path = testing::TempDir() + "/ckpt_corrupt.ckpt";
+  std::filesystem::remove(path);
+  {
+    auto store = LocalStore::Open({path});
+    RWTxn txn = store->BeginRW();
+    txn.Put("a", "1");
+    txn.Commit();
+    store->Flush();
+  }
+  // Flip a byte of the stored checksum digest (the file's final bytes).
+  {
+    const auto size = std::filesystem::file_size(path);
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(size) - 1);
+    const char last = static_cast<char>(file.get());
+    file.seekp(static_cast<std::streamoff>(size) - 1);
+    file.put(static_cast<char>(last ^ 0x7f));
+  }
+  EXPECT_THROW(LocalStore::Open({path}), StoreError);
+  std::filesystem::remove(path);
+}
+
+TEST(LocalStoreTest, InjectedCommitFaultThrows) {
+  LocalStore store;
+  store.InjectCommitFault();
+  RWTxn txn = store.BeginRW();
+  txn.Put("k", "v");
+  EXPECT_THROW(txn.Commit(), StoreError);
+  // The failure consumed the injection; the store is usable again.
+  RWTxn txn2 = store.BeginRW();
+  txn2.Put("k", "v");
+  txn2.Commit();
+  EXPECT_TRUE(store.Snapshot().Get("k").has_value());
+}
+
+TEST(LocalStoreTest, ConcurrentReadersDuringWrites) {
+  LocalStore store;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 500; ++i) {
+      RWTxn txn = store.BeginRW();
+      txn.Put("k" + std::to_string(i % 10), std::to_string(i));
+      txn.Commit();
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ROTxn snap = store.Snapshot();
+        snap.ScanPrefix("k");
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(store.committed_version(), 500u);
+}
+
+// Property: a random interleaving of writes with savepoint rollbacks matches
+// a model map.
+TEST(LocalStoreProperty, RandomOpsMatchModel) {
+  Rng rng(2024);
+  LocalStore store;
+  std::map<std::string, std::string> model;
+  for (int round = 0; round < 200; ++round) {
+    RWTxn txn = store.BeginRW();
+    std::map<std::string, std::string> txn_model = model;
+    const int ops = static_cast<int>(rng.Uniform(1, 6));
+    for (int i = 0; i < ops; ++i) {
+      const std::string key = "k" + std::to_string(rng.Uniform(0, 15));
+      if (rng.Bernoulli(0.3)) {
+        txn.Delete(key);
+        txn_model.erase(key);
+      } else {
+        const std::string value = rng.String(8);
+        txn.Put(key, value);
+        txn_model[key] = value;
+      }
+    }
+    if (rng.Bernoulli(0.2)) {
+      txn.Abort();
+    } else {
+      txn.Commit();
+      model = std::move(txn_model);
+    }
+  }
+  ROTxn snap = store.Snapshot();
+  std::map<std::string, std::string> actual;
+  for (const auto& [key, value] : snap.ScanPrefix("")) {
+    actual[key] = value;
+  }
+  EXPECT_EQ(actual, model);
+}
+
+TEST(KeyspaceTest, PrefixesKeys) {
+  Keyspace space("e/test/");
+  EXPECT_EQ(space.Key("flag"), "e/test/flag");
+  EXPECT_EQ(space.prefix(), "e/test/");
+}
+
+}  // namespace
+}  // namespace delos

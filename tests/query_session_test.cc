@@ -1,0 +1,224 @@
+// Tests for the DelosTable query layer (planner + execution) and the Zelos
+// SessionMonitor (heartbeat-driven session expiry via the log).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/apps/delostable/query.h"
+#include "src/apps/zelos/session_monitor.h"
+#include "src/core/base_engine.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos {
+namespace {
+
+// --- query layer ---
+
+class QueryTest : public testing::Test {
+ protected:
+  QueryTest() {
+    log_ = std::make_shared<InMemoryLog>();
+    base_ = std::make_unique<BaseEngine>(log_, &store_, BaseEngineOptions{});
+    base_->RegisterUpcall(&applicator_);
+    base_->Start();
+    client_ = std::make_unique<table::TableClient>(base_.get());
+    engine_ = std::make_unique<table::QueryEngine>(client_.get());
+
+    table::TableSchema schema;
+    schema.name = "emp";
+    schema.columns = {{"id", table::ValueType::kInt64},
+                      {"name", table::ValueType::kString},
+                      {"dept", table::ValueType::kString},
+                      {"salary", table::ValueType::kInt64}};
+    schema.primary_key = "id";
+    schema.secondary_indexes = {"dept"};
+    client_->CreateTable(schema);
+    const char* depts[] = {"eng", "sales", "eng", "hr", "eng", "sales", "hr", "eng"};
+    for (int64_t i = 0; i < 8; ++i) {
+      client_->Insert("emp", {{"id", table::Value{i}},
+                              {"name", table::Value{std::string("emp") + std::to_string(i)}},
+                              {"dept", table::Value{std::string(depts[i])}},
+                              {"salary", table::Value{int64_t{50000 + i * 10000}}}});
+    }
+  }
+  ~QueryTest() override { base_->Stop(); }
+
+  static table::Predicate Pred(const std::string& col, table::Predicate::Op op,
+                               table::Value value) {
+    return table::Predicate{col, op, std::move(value)};
+  }
+
+  std::shared_ptr<InMemoryLog> log_;
+  LocalStore store_;
+  table::TableApplicator applicator_;
+  std::unique_ptr<BaseEngine> base_;
+  std::unique_ptr<table::TableClient> client_;
+  std::unique_ptr<table::QueryEngine> engine_;
+};
+
+TEST_F(QueryTest, EqualityOnIndexedColumnUsesIndex) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {Pred("dept", table::Predicate::Op::kEq, table::Value{std::string("eng")})};
+  const auto plan = engine_->Plan(query);
+  EXPECT_EQ(plan.access, table::QueryPlan::Access::kIndexLookup);
+  EXPECT_EQ(plan.index_column, "dept");
+  EXPECT_TRUE(plan.residual.empty());
+  EXPECT_EQ(engine_->Select(query).size(), 4u);
+}
+
+TEST_F(QueryTest, IndexLookupWithResidualFilter) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {Pred("dept", table::Predicate::Op::kEq, table::Value{std::string("eng")}),
+                      Pred("salary", table::Predicate::Op::kGt, table::Value{int64_t{60000}})};
+  const auto plan = engine_->Plan(query);
+  EXPECT_EQ(plan.access, table::QueryPlan::Access::kIndexLookup);
+  EXPECT_EQ(plan.residual.size(), 1u);
+  const auto rows = engine_->Select(query);
+  EXPECT_EQ(rows.size(), 3u);  // ids 2, 4, 7 (salary 70k, 90k, 120k)
+  for (const auto& row : rows) {
+    EXPECT_GT(std::get<int64_t>(row.at("salary")), 60000);
+    EXPECT_EQ(std::get<std::string>(row.at("dept")), "eng");
+  }
+}
+
+TEST_F(QueryTest, PkRangeUsesBoundedScan) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {Pred("id", table::Predicate::Op::kGe, table::Value{int64_t{2}}),
+                      Pred("id", table::Predicate::Op::kLt, table::Value{int64_t{6}})};
+  const auto plan = engine_->Plan(query);
+  EXPECT_EQ(plan.access, table::QueryPlan::Access::kPkRange);
+  ASSERT_TRUE(plan.pk_lower.has_value());
+  ASSERT_TRUE(plan.pk_upper.has_value());
+  const auto rows = engine_->Select(query);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(std::get<int64_t>(rows.front().at("id")), 2);
+  EXPECT_EQ(std::get<int64_t>(rows.back().at("id")), 5);
+}
+
+TEST_F(QueryTest, StrictLowerBoundFiltersExactly) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {Pred("id", table::Predicate::Op::kGt, table::Value{int64_t{5}})};
+  const auto rows = engine_->Select(query);
+  ASSERT_EQ(rows.size(), 2u);  // 6, 7 (strict)
+  EXPECT_EQ(std::get<int64_t>(rows.front().at("id")), 6);
+}
+
+TEST_F(QueryTest, NonIndexedPredicateFallsBackToFullScan) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {
+      Pred("name", table::Predicate::Op::kEq, table::Value{std::string("emp3")})};
+  const auto plan = engine_->Plan(query);
+  EXPECT_EQ(plan.access, table::QueryPlan::Access::kFullScan);
+  const auto rows = engine_->Select(query);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(rows.front().at("id")), 3);
+}
+
+TEST_F(QueryTest, LimitAndCount) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {Pred("salary", table::Predicate::Op::kGe, table::Value{int64_t{0}})};
+  query.limit = 3;
+  EXPECT_EQ(engine_->Select(query).size(), 3u);
+  query.limit = SIZE_MAX;
+  EXPECT_EQ(engine_->Count(query), 8u);
+}
+
+TEST_F(QueryTest, NotEqualsAndEmptyResult) {
+  table::Query query;
+  query.table = "emp";
+  query.predicates = {Pred("dept", table::Predicate::Op::kNe, table::Value{std::string("eng")})};
+  EXPECT_EQ(engine_->Count(query), 4u);
+  query.predicates = {
+      Pred("dept", table::Predicate::Op::kEq, table::Value{std::string("nonexistent")})};
+  EXPECT_TRUE(engine_->Select(query).empty());
+}
+
+TEST_F(QueryTest, ErrorsOnBadTableOrColumn) {
+  table::Query query;
+  query.table = "nope";
+  EXPECT_THROW(engine_->Select(query), table::NoSuchTableError);
+  query.table = "emp";
+  query.predicates = {Pred("bogus", table::Predicate::Op::kEq, table::Value{int64_t{1}})};
+  EXPECT_THROW(engine_->Select(query), table::SchemaError);
+}
+
+// --- session monitor ---
+
+class SessionMonitorTest : public testing::Test {
+ protected:
+  SessionMonitorTest() {
+    log_ = std::make_shared<InMemoryLog>();
+    base_ = std::make_unique<BaseEngine>(log_, &store_, BaseEngineOptions{});
+    base_->RegisterUpcall(&applicator_);
+    base_->Start();
+    client_ = std::make_unique<zelos::ZelosClient>(base_.get(), &applicator_);
+  }
+  ~SessionMonitorTest() override { base_->Stop(); }
+
+  std::shared_ptr<InMemoryLog> log_;
+  LocalStore store_;
+  zelos::ZelosApplicator applicator_;
+  std::unique_ptr<BaseEngine> base_;
+  std::unique_ptr<zelos::ZelosClient> client_;
+};
+
+TEST_F(SessionMonitorTest, ExpiresSilentSessionAndCleansEphemerals) {
+  const zelos::SessionId session = client_->CreateSession(/*timeout_micros=*/40'000);
+  client_->Create(session, "/lock", "held", zelos::kEphemeral);
+  ASSERT_TRUE(client_->Exists("/lock").has_value());
+
+  zelos::SessionMonitor::Options options;
+  options.check_interval_micros = 10'000;
+  zelos::SessionMonitor monitor(client_.get(), &store_, options);
+
+  const int64_t deadline = RealClock::Instance()->NowMicros() + 3'000'000;
+  while (client_->Exists("/lock").has_value() &&
+         RealClock::Instance()->NowMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(client_->Exists("/lock").has_value());
+  EXPECT_GE(monitor.sessions_expired(), 1u);
+}
+
+TEST_F(SessionMonitorTest, HeartbeatsKeepSessionAlive) {
+  const zelos::SessionId session = client_->CreateSession(/*timeout_micros=*/60'000);
+  client_->Create(session, "/alive", "x", zelos::kEphemeral);
+
+  zelos::SessionMonitor::Options options;
+  options.check_interval_micros = 10'000;
+  zelos::SessionMonitor monitor(client_.get(), &store_, options);
+
+  // Heartbeat well inside the timeout for a while.
+  for (int i = 0; i < 10; ++i) {
+    client_->Heartbeat(session);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(client_->Exists("/alive").has_value()) << "iteration " << i;
+  }
+  EXPECT_EQ(monitor.sessions_expired(), 0u);
+  // Stop heartbeating: the session dies.
+  const int64_t deadline = RealClock::Instance()->NowMicros() + 3'000'000;
+  while (client_->Exists("/alive").has_value() &&
+         RealClock::Instance()->NowMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(client_->Exists("/alive").has_value());
+}
+
+TEST_F(SessionMonitorTest, ClosedSessionNeedsNoExpiry) {
+  const zelos::SessionId session = client_->CreateSession(40'000);
+  client_->CloseSession(session);
+  zelos::SessionMonitor::Options options;
+  options.check_interval_micros = 10'000;
+  zelos::SessionMonitor monitor(client_.get(), &store_, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(monitor.sessions_expired(), 0u);
+}
+
+}  // namespace
+}  // namespace delos

@@ -1,0 +1,298 @@
+// DelosTable tests: typed values, order-preserving codec, CRUD, secondary
+// indexes, conditional updates, scans, replication, and deterministic
+// error relay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/apps/delostable/table_db.h"
+#include "src/core/base_engine.h"
+#include "src/sharedlog/inmemory_log.h"
+
+namespace delos::table {
+namespace {
+
+// --- codec property tests ---
+
+TEST(OrderedCodecTest, Int64OrderPreserved) {
+  const int64_t values[] = {INT64_MIN, -1000000, -1, 0, 1, 42, 1000000, INT64_MAX};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(EncodeOrdered(Value{values[i]}), EncodeOrdered(Value{values[i + 1]}))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(OrderedCodecTest, DoubleOrderPreserved) {
+  const double values[] = {-1e100, -3.5, -0.25, 0.0, 0.25, 3.5, 1e100};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(EncodeOrdered(Value{values[i]}), EncodeOrdered(Value{values[i + 1]}));
+  }
+}
+
+TEST(OrderedCodecTest, StringOrderPreservedWithEmbeddedNuls) {
+  const std::string values[] = {"", std::string("\0", 1), std::string("\0a", 2), "a",
+                                std::string("a\0", 2), "ab", "b"};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(EncodeOrdered(Value{values[i]}), EncodeOrdered(Value{values[i + 1]}));
+  }
+}
+
+TEST(OrderedCodecTest, RoundTripAllTypes) {
+  const Value values[] = {Value{}, Value{true}, Value{false}, Value{int64_t{-42}},
+                          Value{3.25}, Value{std::string("hi\0there", 8)}};
+  for (const Value& v : values) {
+    const std::string encoded = EncodeOrdered(v);
+    size_t offset = 0;
+    EXPECT_EQ(DecodeOrdered(encoded, &offset), v);
+    EXPECT_EQ(offset, encoded.size());
+  }
+}
+
+TEST(OrderedCodecTest, CompositeKeysDecodeSequentially) {
+  std::string composite;
+  EncodeOrdered(Value{std::string("user")}, &composite);
+  EncodeOrdered(Value{int64_t{7}}, &composite);
+  size_t offset = 0;
+  EXPECT_EQ(DecodeOrdered(composite, &offset), Value{std::string("user")});
+  EXPECT_EQ(DecodeOrdered(composite, &offset), Value{int64_t{7}});
+}
+
+// --- table fixture ---
+
+class TableTest : public testing::Test {
+ protected:
+  TableTest() {
+    log_ = std::make_shared<InMemoryLog>();
+    base_ = std::make_unique<BaseEngine>(log_, &store_, BaseEngineOptions{});
+    base_->RegisterUpcall(&applicator_);
+    base_->Start();
+    client_ = std::make_unique<TableClient>(base_.get());
+
+    TableSchema schema;
+    schema.name = "users";
+    schema.columns = {{"id", ValueType::kInt64},
+                      {"name", ValueType::kString},
+                      {"city", ValueType::kString},
+                      {"score", ValueType::kDouble}};
+    schema.primary_key = "id";
+    schema.secondary_indexes = {"city"};
+    client_->CreateTable(schema);
+  }
+  ~TableTest() override { base_->Stop(); }
+
+  Row MakeUser(int64_t id, const std::string& name, const std::string& city,
+               double score = 0.0) {
+    return Row{{"id", Value{id}},
+               {"name", Value{name}},
+               {"city", Value{city}},
+               {"score", Value{score}}};
+  }
+
+  std::shared_ptr<InMemoryLog> log_;
+  LocalStore store_;
+  TableApplicator applicator_;
+  std::unique_ptr<BaseEngine> base_;
+  std::unique_ptr<TableClient> client_;
+};
+
+TEST_F(TableTest, InsertAndGet) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  auto row = client_->Get("users", Value{int64_t{1}});
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ((*row)["name"], Value{std::string("ada")});
+  EXPECT_FALSE(client_->Get("users", Value{int64_t{2}}).has_value());
+}
+
+TEST_F(TableTest, DuplicateInsertThrows) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  EXPECT_THROW(client_->Insert("users", MakeUser(1, "dup", "paris")), DuplicateKeyError);
+  // Upsert overwrites instead.
+  client_->Upsert("users", MakeUser(1, "ada2", "paris"));
+  EXPECT_EQ((*client_->Get("users", Value{int64_t{1}}))["city"], Value{std::string("paris")});
+}
+
+TEST_F(TableTest, UpdateMissingRowThrowsRowNotFound) {
+  EXPECT_THROW(client_->Update("users", Value{int64_t{9}}, {{"name", Value{std::string("x")}}}),
+               RowNotFoundError);
+}
+
+TEST_F(TableTest, PartialUpdateKeepsOtherColumns) {
+  client_->Insert("users", MakeUser(1, "ada", "london", 1.5));
+  client_->Update("users", Value{int64_t{1}}, {{"score", Value{9.5}}});
+  auto row = *client_->Get("users", Value{int64_t{1}});
+  EXPECT_EQ(row["name"], Value{std::string("ada")});
+  EXPECT_EQ(row["score"], Value{9.5});
+}
+
+TEST_F(TableTest, DeleteRemovesRowAndIndex) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  client_->Delete("users", Value{int64_t{1}});
+  EXPECT_FALSE(client_->Get("users", Value{int64_t{1}}).has_value());
+  EXPECT_TRUE(client_->IndexLookup("users", "city", Value{std::string("london")}).empty());
+  EXPECT_THROW(client_->Delete("users", Value{int64_t{1}}), RowNotFoundError);
+}
+
+TEST_F(TableTest, SecondaryIndexFollowsUpdates) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  client_->Insert("users", MakeUser(2, "bob", "london"));
+  client_->Insert("users", MakeUser(3, "eve", "paris"));
+
+  auto londoners = client_->IndexLookup("users", "city", Value{std::string("london")});
+  EXPECT_EQ(londoners.size(), 2u);
+
+  client_->Update("users", Value{int64_t{2}}, {{"city", Value{std::string("paris")}}});
+  londoners = client_->IndexLookup("users", "city", Value{std::string("london")});
+  EXPECT_EQ(londoners.size(), 1u);
+  auto parisians = client_->IndexLookup("users", "city", Value{std::string("paris")});
+  EXPECT_EQ(parisians.size(), 2u);
+}
+
+TEST_F(TableTest, ScanRangeOrderedByPk) {
+  for (int64_t id : {5, 1, 9, 3, 7}) {
+    client_->Insert("users", MakeUser(id, "u" + std::to_string(id), "x"));
+  }
+  auto rows = client_->Scan("users", Value{int64_t{3}}, Value{int64_t{9}});
+  ASSERT_EQ(rows.size(), 3u);  // 3, 5, 7 (end exclusive)
+  EXPECT_EQ(rows[0]["id"], Value{int64_t{3}});
+  EXPECT_EQ(rows[2]["id"], Value{int64_t{7}});
+
+  auto all = client_->Scan("users", std::nullopt, std::nullopt);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(), [](const Row& a, const Row& b) {
+    return std::get<int64_t>(a.at("id")) < std::get<int64_t>(b.at("id"));
+  }));
+}
+
+TEST_F(TableTest, ConditionalUpdateCas) {
+  client_->Insert("users", MakeUser(1, "ada", "london", 1.0));
+  client_->ConditionalUpdate("users", Value{int64_t{1}}, "score", Value{1.0},
+                             {{"score", Value{2.0}}});
+  EXPECT_EQ((*client_->Get("users", Value{int64_t{1}}))["score"], Value{2.0});
+  EXPECT_THROW(client_->ConditionalUpdate("users", Value{int64_t{1}}, "score", Value{1.0},
+                                          {{"score", Value{3.0}}}),
+               ConditionFailedError);
+}
+
+TEST_F(TableTest, SchemaValidation) {
+  EXPECT_THROW(client_->Insert("users", Row{{"id", Value{int64_t{1}}},
+                                            {"bogus", Value{std::string("x")}}}),
+               SchemaError);
+  EXPECT_THROW(client_->Insert("users", Row{{"id", Value{std::string("not-an-int")}}}),
+               SchemaError);
+  EXPECT_THROW(client_->Insert("users", Row{{"name", Value{std::string("no-pk")}}}),
+               SchemaError);
+  EXPECT_THROW(client_->Insert("nope", MakeUser(1, "x", "y")), NoSuchTableError);
+}
+
+TEST_F(TableTest, FailedOpLeavesNoPartialState) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  const uint64_t checksum = store_.Checksum();
+  EXPECT_THROW(client_->Insert("users", MakeUser(1, "dup", "berlin")), DuplicateKeyError);
+  // The duplicate insert must not have touched indexes or rows — only the
+  // BaseEngine cursor moved.
+  EXPECT_TRUE(client_->IndexLookup("users", "city", Value{std::string("berlin")}).empty());
+  EXPECT_EQ((*client_->Get("users", Value{int64_t{1}}))["name"], Value{std::string("ada")});
+  (void)checksum;
+}
+
+TEST_F(TableTest, DropTableRemovesEverything) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  client_->DropTable("users");
+  EXPECT_THROW(client_->Insert("users", MakeUser(2, "x", "y")), NoSuchTableError);
+  EXPECT_FALSE(client_->GetSchema("users").has_value());
+  // No leftover keys under the table prefix.
+  EXPECT_TRUE(store_.Snapshot().ScanPrefix("t/users/").empty());
+}
+
+TEST(TableReplicationTest, TwoServersConverge) {
+  auto log = std::make_shared<InMemoryLog>();
+  LocalStore store_a;
+  LocalStore store_b;
+  TableApplicator app_a;
+  TableApplicator app_b;
+  BaseEngineOptions options_a;
+  options_a.server_id = "a";
+  BaseEngineOptions options_b;
+  options_b.server_id = "b";
+  BaseEngine base_a(log, &store_a, options_a);
+  BaseEngine base_b(log, &store_b, options_b);
+  base_a.RegisterUpcall(&app_a);
+  base_b.RegisterUpcall(&app_b);
+  base_a.Start();
+  base_b.Start();
+  TableClient client_a(&base_a);
+  TableClient client_b(&base_b);
+
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"k", ValueType::kInt64}, {"v", ValueType::kString}};
+  schema.primary_key = "k";
+  client_a.CreateTable(schema);
+  client_a.Insert("t", {{"k", Value{int64_t{1}}}, {"v", Value{std::string("from-a")}}});
+  // b reads a's write with strong consistency, then writes.
+  auto row = client_b.Get("t", Value{int64_t{1}});
+  ASSERT_TRUE(row.has_value());
+  client_b.Insert("t", {{"k", Value{int64_t{2}}}, {"v", Value{std::string("from-b")}}});
+  client_a.Get("t", Value{int64_t{2}});
+  base_a.Sync().Get();
+  EXPECT_EQ(store_a.Checksum(), store_b.Checksum());
+  base_a.Stop();
+  base_b.Stop();
+}
+
+}  // namespace
+}  // namespace delos::table
+
+namespace delos::table {
+namespace {
+
+TEST_F(TableTest, WriteBatchAppliesAtomically) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  std::vector<TableClient::BatchOp> batch;
+  batch.push_back({TableClient::BatchOp::Kind::kInsert, "users", MakeUser(2, "bob", "paris"),
+                   Value{}});
+  batch.push_back({TableClient::BatchOp::Kind::kUpdate, "users",
+                   Row{{"city", Value{std::string("berlin")}}}, Value{int64_t{1}}});
+  batch.push_back({TableClient::BatchOp::Kind::kDelete, "users", Row{}, Value{int64_t{2}}});
+  client_->ApplyBatch(batch);
+  EXPECT_EQ((*client_->Get("users", Value{int64_t{1}}))["city"], Value{std::string("berlin")});
+  EXPECT_FALSE(client_->Get("users", Value{int64_t{2}}).has_value());
+}
+
+TEST_F(TableTest, WriteBatchRollsBackEntirelyOnFailure) {
+  client_->Insert("users", MakeUser(1, "ada", "london"));
+  const uint64_t version_before = store_.committed_version();
+  std::vector<TableClient::BatchOp> batch;
+  batch.push_back({TableClient::BatchOp::Kind::kInsert, "users", MakeUser(5, "eve", "oslo"),
+                   Value{}});
+  // This op fails: row 99 does not exist.
+  batch.push_back({TableClient::BatchOp::Kind::kUpdate, "users",
+                   Row{{"city", Value{std::string("x")}}}, Value{int64_t{99}}});
+  EXPECT_THROW(client_->ApplyBatch(batch), RowNotFoundError);
+  // The first op's insert (and its index entries) rolled back with it.
+  EXPECT_FALSE(client_->Get("users", Value{int64_t{5}}).has_value());
+  EXPECT_TRUE(client_->IndexLookup("users", "city", Value{std::string("oslo")}).empty());
+  // Only the cursor moved.
+  EXPECT_EQ(store_.committed_version(), version_before + 1);
+}
+
+TEST_F(TableTest, WriteBatchSpansTables) {
+  TableSchema audit;
+  audit.name = "audit";
+  audit.columns = {{"seq", ValueType::kInt64}, {"what", ValueType::kString}};
+  audit.primary_key = "seq";
+  client_->CreateTable(audit);
+
+  std::vector<TableClient::BatchOp> batch;
+  batch.push_back({TableClient::BatchOp::Kind::kInsert, "users", MakeUser(7, "gil", "rome"),
+                   Value{}});
+  batch.push_back({TableClient::BatchOp::Kind::kInsert, "audit",
+                   Row{{"seq", Value{int64_t{1}}}, {"what", Value{std::string("added gil")}}},
+                   Value{}});
+  client_->ApplyBatch(batch);
+  EXPECT_TRUE(client_->Get("users", Value{int64_t{7}}).has_value());
+  EXPECT_TRUE(client_->Get("audit", Value{int64_t{1}}).has_value());
+}
+
+}  // namespace
+}  // namespace delos::table
