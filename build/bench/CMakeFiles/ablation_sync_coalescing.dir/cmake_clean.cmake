@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_coalescing.dir/ablation_sync_coalescing.cpp.o"
+  "CMakeFiles/ablation_sync_coalescing.dir/ablation_sync_coalescing.cpp.o.d"
+  "ablation_sync_coalescing"
+  "ablation_sync_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

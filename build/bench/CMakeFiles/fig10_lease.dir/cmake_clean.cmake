@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lease.dir/fig10_lease.cpp.o"
+  "CMakeFiles/fig10_lease.dir/fig10_lease.cpp.o.d"
+  "fig10_lease"
+  "fig10_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_observer_dashboard.dir/fig11_observer_dashboard.cpp.o"
+  "CMakeFiles/fig11_observer_dashboard.dir/fig11_observer_dashboard.cpp.o.d"
+  "fig11_observer_dashboard"
+  "fig11_observer_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_observer_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_engine_inventory.dir/fig5_engine_inventory.cpp.o"
+  "CMakeFiles/fig5_engine_inventory.dir/fig5_engine_inventory.cpp.o.d"
+  "fig5_engine_inventory"
+  "fig5_engine_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_engine_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

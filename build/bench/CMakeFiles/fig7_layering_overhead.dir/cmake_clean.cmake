@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_layering_overhead.dir/fig7_layering_overhead.cpp.o"
+  "CMakeFiles/fig7_layering_overhead.dir/fig7_layering_overhead.cpp.o.d"
+  "fig7_layering_overhead"
+  "fig7_layering_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_layering_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_apply_utilization.dir/fig8_apply_utilization.cpp.o"
+  "CMakeFiles/fig8_apply_utilization.dir/fig8_apply_utilization.cpp.o.d"
+  "fig8_apply_utilization"
+  "fig8_apply_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_apply_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

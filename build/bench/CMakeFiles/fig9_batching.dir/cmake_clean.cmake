@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_batching.dir/fig9_batching.cpp.o"
+  "CMakeFiles/fig9_batching.dir/fig9_batching.cpp.o.d"
+  "fig9_batching"
+  "fig9_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_bench.cpp" "bench/CMakeFiles/micro_bench.dir/micro_bench.cpp.o" "gcc" "bench/CMakeFiles/micro_bench.dir/micro_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/delos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/delos_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/delos_restore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/delos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localstore/CMakeFiles/delos_localstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharedlog/CMakeFiles/delos_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/delos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/delos_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/delos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zelos_vs_zk.dir/zelos_vs_zk.cpp.o"
+  "CMakeFiles/zelos_vs_zk.dir/zelos_vs_zk.cpp.o.d"
+  "zelos_vs_zk"
+  "zelos_vs_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zelos_vs_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

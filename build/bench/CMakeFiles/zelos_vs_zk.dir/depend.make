@@ -1,0 +1,2 @@
+# Empty dependencies file for zelos_vs_zk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_lease.dir/geo_lease.cpp.o"
+  "CMakeFiles/geo_lease.dir/geo_lease.cpp.o.d"
+  "geo_lease"
+  "geo_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

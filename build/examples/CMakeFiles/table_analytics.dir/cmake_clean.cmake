@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_analytics.dir/table_analytics.cpp.o"
+  "CMakeFiles/table_analytics.dir/table_analytics.cpp.o.d"
+  "table_analytics"
+  "table_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zelos_coordination.dir/zelos_coordination.cpp.o"
+  "CMakeFiles/zelos_coordination.dir/zelos_coordination.cpp.o.d"
+  "zelos_coordination"
+  "zelos_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zelos_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

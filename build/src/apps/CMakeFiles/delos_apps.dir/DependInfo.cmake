@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/delosq/delosq.cc" "src/apps/CMakeFiles/delos_apps.dir/delosq/delosq.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/delosq/delosq.cc.o.d"
+  "/root/repo/src/apps/delostable/query.cc" "src/apps/CMakeFiles/delos_apps.dir/delostable/query.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/delostable/query.cc.o.d"
+  "/root/repo/src/apps/delostable/table_db.cc" "src/apps/CMakeFiles/delos_apps.dir/delostable/table_db.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/delostable/table_db.cc.o.d"
+  "/root/repo/src/apps/delostable/value.cc" "src/apps/CMakeFiles/delos_apps.dir/delostable/value.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/delostable/value.cc.o.d"
+  "/root/repo/src/apps/locks/lock_service.cc" "src/apps/CMakeFiles/delos_apps.dir/locks/lock_service.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/locks/lock_service.cc.o.d"
+  "/root/repo/src/apps/zelos/session_monitor.cc" "src/apps/CMakeFiles/delos_apps.dir/zelos/session_monitor.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/zelos/session_monitor.cc.o.d"
+  "/root/repo/src/apps/zelos/zelos.cc" "src/apps/CMakeFiles/delos_apps.dir/zelos/zelos.cc.o" "gcc" "src/apps/CMakeFiles/delos_apps.dir/zelos/zelos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/delos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localstore/CMakeFiles/delos_localstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharedlog/CMakeFiles/delos_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/delos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/delos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

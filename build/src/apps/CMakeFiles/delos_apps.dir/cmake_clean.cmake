@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_apps.dir/delosq/delosq.cc.o"
+  "CMakeFiles/delos_apps.dir/delosq/delosq.cc.o.d"
+  "CMakeFiles/delos_apps.dir/delostable/query.cc.o"
+  "CMakeFiles/delos_apps.dir/delostable/query.cc.o.d"
+  "CMakeFiles/delos_apps.dir/delostable/table_db.cc.o"
+  "CMakeFiles/delos_apps.dir/delostable/table_db.cc.o.d"
+  "CMakeFiles/delos_apps.dir/delostable/value.cc.o"
+  "CMakeFiles/delos_apps.dir/delostable/value.cc.o.d"
+  "CMakeFiles/delos_apps.dir/locks/lock_service.cc.o"
+  "CMakeFiles/delos_apps.dir/locks/lock_service.cc.o.d"
+  "CMakeFiles/delos_apps.dir/zelos/session_monitor.cc.o"
+  "CMakeFiles/delos_apps.dir/zelos/session_monitor.cc.o.d"
+  "CMakeFiles/delos_apps.dir/zelos/zelos.cc.o"
+  "CMakeFiles/delos_apps.dir/zelos/zelos.cc.o.d"
+  "libdelos_apps.a"
+  "libdelos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdelos_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_backup.dir/backup_store.cc.o"
+  "CMakeFiles/delos_backup.dir/backup_store.cc.o.d"
+  "libdelos_backup.a"
+  "libdelos_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_restore.dir/restore.cc.o"
+  "CMakeFiles/delos_restore.dir/restore.cc.o.d"
+  "libdelos_restore.a"
+  "libdelos_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_common.dir/checksum.cc.o"
+  "CMakeFiles/delos_common.dir/checksum.cc.o.d"
+  "CMakeFiles/delos_common.dir/clock.cc.o"
+  "CMakeFiles/delos_common.dir/clock.cc.o.d"
+  "CMakeFiles/delos_common.dir/compress.cc.o"
+  "CMakeFiles/delos_common.dir/compress.cc.o.d"
+  "CMakeFiles/delos_common.dir/logging.cc.o"
+  "CMakeFiles/delos_common.dir/logging.cc.o.d"
+  "CMakeFiles/delos_common.dir/metrics.cc.o"
+  "CMakeFiles/delos_common.dir/metrics.cc.o.d"
+  "libdelos_common.a"
+  "libdelos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

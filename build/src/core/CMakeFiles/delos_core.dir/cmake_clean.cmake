@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_core.dir/base_engine.cc.o"
+  "CMakeFiles/delos_core.dir/base_engine.cc.o.d"
+  "CMakeFiles/delos_core.dir/cluster.cc.o"
+  "CMakeFiles/delos_core.dir/cluster.cc.o.d"
+  "CMakeFiles/delos_core.dir/entry.cc.o"
+  "CMakeFiles/delos_core.dir/entry.cc.o.d"
+  "CMakeFiles/delos_core.dir/stackable_engine.cc.o"
+  "CMakeFiles/delos_core.dir/stackable_engine.cc.o.d"
+  "libdelos_core.a"
+  "libdelos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

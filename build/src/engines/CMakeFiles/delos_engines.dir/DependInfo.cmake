@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/batching_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/batching_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/batching_engine.cc.o.d"
+  "/root/repo/src/engines/brain_doctor_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/brain_doctor_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/brain_doctor_engine.cc.o.d"
+  "/root/repo/src/engines/compression_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/compression_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/compression_engine.cc.o.d"
+  "/root/repo/src/engines/lease_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/lease_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/lease_engine.cc.o.d"
+  "/root/repo/src/engines/log_backup_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/log_backup_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/log_backup_engine.cc.o.d"
+  "/root/repo/src/engines/observer_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/observer_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/observer_engine.cc.o.d"
+  "/root/repo/src/engines/session_order_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/session_order_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/session_order_engine.cc.o.d"
+  "/root/repo/src/engines/stacks.cc" "src/engines/CMakeFiles/delos_engines.dir/stacks.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/stacks.cc.o.d"
+  "/root/repo/src/engines/time_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/time_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/time_engine.cc.o.d"
+  "/root/repo/src/engines/view_tracking_engine.cc" "src/engines/CMakeFiles/delos_engines.dir/view_tracking_engine.cc.o" "gcc" "src/engines/CMakeFiles/delos_engines.dir/view_tracking_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/delos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/delos_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/localstore/CMakeFiles/delos_localstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharedlog/CMakeFiles/delos_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/delos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/delos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_engines.dir/batching_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/batching_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/brain_doctor_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/brain_doctor_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/compression_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/compression_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/lease_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/lease_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/log_backup_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/log_backup_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/observer_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/observer_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/session_order_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/session_order_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/stacks.cc.o"
+  "CMakeFiles/delos_engines.dir/stacks.cc.o.d"
+  "CMakeFiles/delos_engines.dir/time_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/time_engine.cc.o.d"
+  "CMakeFiles/delos_engines.dir/view_tracking_engine.cc.o"
+  "CMakeFiles/delos_engines.dir/view_tracking_engine.cc.o.d"
+  "libdelos_engines.a"
+  "libdelos_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

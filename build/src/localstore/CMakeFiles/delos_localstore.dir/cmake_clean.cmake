@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_localstore.dir/localstore.cc.o"
+  "CMakeFiles/delos_localstore.dir/localstore.cc.o.d"
+  "libdelos_localstore.a"
+  "libdelos_localstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_localstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_net.dir/sim_network.cc.o"
+  "CMakeFiles/delos_net.dir/sim_network.cc.o.d"
+  "libdelos_net.a"
+  "libdelos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharedlog/chaos_log.cc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/chaos_log.cc.o" "gcc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/chaos_log.cc.o.d"
+  "/root/repo/src/sharedlog/inmemory_log.cc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/inmemory_log.cc.o" "gcc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/inmemory_log.cc.o.d"
+  "/root/repo/src/sharedlog/quorum_loglet.cc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/quorum_loglet.cc.o" "gcc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/quorum_loglet.cc.o.d"
+  "/root/repo/src/sharedlog/virtual_log.cc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/virtual_log.cc.o" "gcc" "src/sharedlog/CMakeFiles/delos_sharedlog.dir/virtual_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/delos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/delos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delos_sharedlog.dir/chaos_log.cc.o"
+  "CMakeFiles/delos_sharedlog.dir/chaos_log.cc.o.d"
+  "CMakeFiles/delos_sharedlog.dir/inmemory_log.cc.o"
+  "CMakeFiles/delos_sharedlog.dir/inmemory_log.cc.o.d"
+  "CMakeFiles/delos_sharedlog.dir/quorum_loglet.cc.o"
+  "CMakeFiles/delos_sharedlog.dir/quorum_loglet.cc.o.d"
+  "CMakeFiles/delos_sharedlog.dir/virtual_log.cc.o"
+  "CMakeFiles/delos_sharedlog.dir/virtual_log.cc.o.d"
+  "libdelos_sharedlog.a"
+  "libdelos_sharedlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delos_sharedlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

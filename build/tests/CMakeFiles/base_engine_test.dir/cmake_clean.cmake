@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_engine_test.dir/base_engine_test.cc.o"
+  "CMakeFiles/base_engine_test.dir/base_engine_test.cc.o.d"
+  "base_engine_test"
+  "base_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delosq_locks_test.dir/delosq_locks_test.cc.o"
+  "CMakeFiles/delosq_locks_test.dir/delosq_locks_test.cc.o.d"
+  "delosq_locks_test"
+  "delosq_locks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delosq_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localstore_test.dir/localstore_test.cc.o"
+  "CMakeFiles/localstore_test.dir/localstore_test.cc.o.d"
+  "localstore_test"
+  "localstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

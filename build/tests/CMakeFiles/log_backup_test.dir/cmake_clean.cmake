@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_backup_test.dir/log_backup_test.cc.o"
+  "CMakeFiles/log_backup_test.dir/log_backup_test.cc.o.d"
+  "log_backup_test"
+  "log_backup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_backup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

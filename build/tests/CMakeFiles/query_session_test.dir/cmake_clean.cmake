@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_session_test.dir/query_session_test.cc.o"
+  "CMakeFiles/query_session_test.dir/query_session_test.cc.o.d"
+  "query_session_test"
+  "query_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

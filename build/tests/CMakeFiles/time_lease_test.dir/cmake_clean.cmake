@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_lease_test.dir/time_lease_test.cc.o"
+  "CMakeFiles/time_lease_test.dir/time_lease_test.cc.o.d"
+  "time_lease_test"
+  "time_lease_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

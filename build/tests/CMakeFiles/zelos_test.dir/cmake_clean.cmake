@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zelos_test.dir/zelos_test.cc.o"
+  "CMakeFiles/zelos_test.dir/zelos_test.cc.o.d"
+  "zelos_test"
+  "zelos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zelos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
