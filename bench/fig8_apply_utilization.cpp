@@ -14,8 +14,10 @@
 #include "bench/bench_util.h"
 #include "src/apps/delostable/table_db.h"
 #include "src/common/random.h"
+#include "src/core/base_engine.h"
 #include "src/core/cluster.h"
 #include "src/engines/stacks.h"
+#include "src/sharedlog/inmemory_log.h"
 
 using namespace delos;
 using namespace delos::bench;
@@ -124,6 +126,113 @@ struct FleetCluster {
   }
 };
 
+// --- group-commit apply throughput ---
+//
+// Replays a pre-filled log backlog through a fresh BaseEngine at different
+// play_batch_size settings. batch 1 is the per-record pipeline (one
+// LocalStore transaction, cursor write, and commit per record); batch 128 is
+// the group-commit pipeline. Results land in BENCH_apply.json.
+
+constexpr LogPos kReplayRecords = 50'000;
+
+class ReplayApplicator : public IApplicator {
+ public:
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    txn.Put("k/" + std::to_string(pos % 512), entry.payload);
+    return std::any(Unit{});
+  }
+};
+
+struct ReplayResult {
+  double records_per_sec = 0;
+  double mean_batch_size = 0;
+  double apply_utilization = 0;  // busy / wall during the replay
+  uint64_t checksum = 0;
+};
+
+ReplayResult MeasureReplay(const std::shared_ptr<InMemoryLog>& log, LogPos batch_size) {
+  LocalStore store;
+  ReplayApplicator app;
+  BaseEngineOptions options;
+  options.server_id = "replay-b" + std::to_string(batch_size);
+  options.play_batch_size = batch_size;
+  BaseEngine engine(log, &store, options);
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  const int64_t start = RealClock::Instance()->NowMicros();
+  engine.Sync().Get();  // plays the whole backlog
+  const int64_t elapsed = RealClock::Instance()->NowMicros() - start;
+  ReplayResult result;
+  result.records_per_sec =
+      1e6 * static_cast<double>(engine.apply_records()) / static_cast<double>(elapsed);
+  result.mean_batch_size = static_cast<double>(engine.apply_records()) /
+                           static_cast<double>(std::max<uint64_t>(engine.apply_batches(), 1));
+  result.apply_utilization =
+      100.0 * static_cast<double>(engine.apply_busy_micros()) / static_cast<double>(elapsed);
+  engine.Stop();
+  result.checksum = store.Checksum();
+  return result;
+}
+
+void ReportApplyThroughput(double fleet_under_10_pct, double fleet_max_pct) {
+  auto log = std::make_shared<InMemoryLog>();
+  const std::string value(100, 'v');
+  for (LogPos i = 0; i < kReplayRecords; ++i) {
+    LogEntry entry;
+    entry.payload = value;
+    log->Append(entry.Serialize());
+  }
+
+  const ReplayResult per_record = MeasureReplay(log, 1);
+  const ReplayResult grouped = MeasureReplay(log, 128);
+  const double speedup = grouped.records_per_sec / per_record.records_per_sec;
+
+  std::printf("\nApply-path replay of %llu records (group commit vs per-record):\n",
+              static_cast<unsigned long long>(kReplayRecords));
+  std::printf("%12s %14s %12s %14s\n", "batch_size", "records/sec", "mean_batch", "utilization%");
+  std::printf("%12d %14.0f %12.1f %14.1f\n", 1, per_record.records_per_sec,
+              per_record.mean_batch_size, per_record.apply_utilization);
+  std::printf("%12d %14.0f %12.1f %14.1f\n", 128, grouped.records_per_sec,
+              grouped.mean_batch_size, grouped.apply_utilization);
+  std::printf("speedup: %.2fx; state checksums %s\n", speedup,
+              per_record.checksum == grouped.checksum ? "match" : "MISMATCH");
+
+  const std::string path = std::string(DELOS_SOURCE_DIR) + "/BENCH_apply.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"apply_pipeline\",\n"
+               "  \"replay_records\": %llu,\n"
+               "  \"per_record_batch_1\": {\n"
+               "    \"records_per_sec\": %.0f,\n"
+               "    \"mean_batch_size\": %.2f,\n"
+               "    \"apply_utilization_pct\": %.1f\n"
+               "  },\n"
+               "  \"group_commit_batch_128\": {\n"
+               "    \"records_per_sec\": %.0f,\n"
+               "    \"mean_batch_size\": %.2f,\n"
+               "    \"apply_utilization_pct\": %.1f\n"
+               "  },\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"checksums_match\": %s,\n"
+               "  \"fleet\": {\n"
+               "    \"samples_under_10_pct_utilization\": %.1f,\n"
+               "    \"max_utilization_pct\": %.1f\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(kReplayRecords), per_record.records_per_sec,
+               per_record.mean_batch_size, per_record.apply_utilization,
+               grouped.records_per_sec, grouped.mean_batch_size, grouped.apply_utilization,
+               speedup, per_record.checksum == grouped.checksum ? "true" : "false",
+               fleet_under_10_pct, fleet_max_pct);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -173,5 +282,7 @@ int main() {
               100.0 * under_10 / samples, global_max);
   std::printf("The apply thread is not the bottleneck: reads bypass it entirely and hot\n"
               "writers are bounded by the log's synchronous writes, not by apply.\n");
+
+  ReportApplyThroughput(100.0 * under_10 / samples, global_max);
   return 0;
 }

@@ -108,6 +108,42 @@ void BM_EntrySerializeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_EntrySerializeRoundTrip);
 
+void BM_EntryDeserializeOwning(benchmark::State& state) {
+  // The old decode path: materialize an owning LogEntry (copies every header
+  // name, header blob, and the payload).
+  LogEntry entry;
+  entry.payload = std::string(static_cast<size_t>(state.range(0)), 'p');
+  entry.SetHeader("base", EngineHeader{0, "server0#abcdef:42"});
+  entry.SetHeader("viewtracking", EngineHeader{0, "server0:12345"});
+  entry.SetHeader("sessionorder", EngineHeader{0, "server0#xyz:7"});
+  const std::string bytes = entry.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogEntry::Deserialize(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_EntryDeserializeOwning)->Arg(100)->Arg(4096);
+
+void BM_EntryParseView(benchmark::State& state) {
+  // The apply pipeline's zero-copy peek: borrow header and payload views
+  // from the log record without copying any blob.
+  LogEntry entry;
+  entry.payload = std::string(static_cast<size_t>(state.range(0)), 'p');
+  entry.SetHeader("base", EngineHeader{0, "server0#abcdef:42"});
+  entry.SetHeader("viewtracking", EngineHeader{0, "server0:12345"});
+  entry.SetHeader("sessionorder", EngineHeader{0, "server0#xyz:7"});
+  const std::string bytes = entry.Serialize();
+  for (auto _ : state) {
+    LogEntryView view = LogEntryView::Parse(bytes);
+    benchmark::DoNotOptimize(view.GetHeader("base"));
+    benchmark::DoNotOptimize(view.payload);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_EntryParseView)->Arg(100)->Arg(4096);
+
 void BM_VarintRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     Serializer ser;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + full test suite, then (optionally) the
+# same suite under a sanitizer.
+#
+#   scripts/check.sh           # RelWithDebInfo build + ctest
+#   scripts/check.sh thread    # additionally build + ctest with TSan
+#   scripts/check.sh address   # additionally build + ctest with ASan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+SAN="${1:-}"
+if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread' or 'address')" >&2
+  exit 2
+fi
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== plain build + ctest =="
+run_suite build
+
+if [[ -n "$SAN" ]]; then
+  echo "== ${SAN} sanitizer build + ctest =="
+  run_suite "build-${SAN}" "-DDELOS_SANITIZE=${SAN}"
+fi
+
+echo "check.sh: all suites passed"

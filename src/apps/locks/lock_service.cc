@@ -28,7 +28,20 @@ LockApplicator::LockRecord LockApplicator::LockRecord::Decode(std::string_view b
 }
 
 std::any LockApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  pending_grants_.clear();
+  // Grants accumulate across a group-commit batch (postApply only runs after
+  // the whole batch commits, and the first postApply drains everything
+  // pending). On a deterministic throw the record is rolled back, so its
+  // grants are trimmed and never fire.
+  const size_t grant_mark = pending_grants_.size();
+  try {
+    return ApplyOp(txn, entry, pos);
+  } catch (...) {
+    pending_grants_.resize(grant_mark);
+    throw;
+  }
+}
+
+std::any LockApplicator::ApplyOp(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   if (entry.payload.empty()) {
     return std::any(Unit{});
   }

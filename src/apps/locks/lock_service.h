@@ -48,7 +48,11 @@ class LockApplicator : public IApplicator {
     static LockRecord Decode(std::string_view bytes);
   };
 
-  // Apply-thread scratch: grants performed by the entry being applied.
+  std::any ApplyOp(RWTxn& txn, const LogEntry& entry, LogPos pos);
+
+  // Apply-thread scratch: grants performed by applied-but-not-yet-notified
+  // entries. Accumulates across a group-commit batch; drained by the first
+  // postApply after the batch commits.
   std::vector<std::pair<std::string, std::string>> pending_grants_;
 
   std::mutex callbacks_mu_;

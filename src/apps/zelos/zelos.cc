@@ -264,7 +264,20 @@ void ZelosApplicator::DoCloseSession(RWTxn& txn, SessionId session) {
 }
 
 std::any ZelosApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  pending_events_.clear();
+  // Watch events accumulate across a group-commit batch (postApply only runs
+  // after the whole batch commits, and the first postApply drains everything
+  // pending). On a deterministic throw the record is rolled back, so its
+  // events are trimmed and never fire.
+  const size_t event_mark = pending_events_.size();
+  try {
+    return ApplyOp(txn, entry, pos);
+  } catch (...) {
+    pending_events_.resize(event_mark);
+    throw;
+  }
+}
+
+std::any ZelosApplicator::ApplyOp(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   if (entry.payload.empty()) {
     return std::any(Unit{});
   }

@@ -135,8 +135,11 @@ class ZelosApplicator : public IApplicator {
                     int64_t expected_version);
   void DoCloseSession(RWTxn& txn, SessionId session);
   void CheckSession(RWTxn& txn, SessionId session);
+  std::any ApplyOp(RWTxn& txn, const LogEntry& entry, LogPos pos);
 
-  // Apply-thread scratch: watch events for the entry being applied.
+  // Apply-thread scratch: watch events for applied-but-not-yet-notified
+  // entries. Accumulates across a group-commit batch; drained by the first
+  // postApply after the batch commits.
   std::vector<WatchEvent> pending_events_;
 
   std::mutex watch_mu_;

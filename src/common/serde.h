@@ -21,6 +21,28 @@ namespace delos {
 // Appends values to an owned byte buffer.
 class Serializer {
  public:
+  Serializer() = default;
+  // Size-hinted constructor: pre-reserves the buffer so hot-path encoders
+  // (e.g. Propose serializing a LogEntry of known size) avoid reallocation.
+  explicit Serializer(size_t size_hint) { buffer_.reserve(size_hint); }
+
+  void Reserve(size_t additional) { buffer_.reserve(buffer_.size() + additional); }
+
+  // Encoded size of a varint, for exact size precomputation.
+  static size_t VarintSize(uint64_t value) {
+    size_t size = 1;
+    while (value >= 0x80) {
+      ++size;
+      value >>= 7;
+    }
+    return size;
+  }
+
+  // Encoded size of a length-prefixed string.
+  static size_t StringSize(std::string_view value) {
+    return VarintSize(value.size()) + value.size();
+  }
+
   void WriteVarint(uint64_t value) {
     while (value >= 0x80) {
       buffer_.push_back(static_cast<char>((value & 0x7f) | 0x80));
@@ -69,8 +91,8 @@ class Serializer {
     }
   }
 
-  template <typename K, typename V, typename WriteKey, typename WriteVal>
-  void WriteMap(const std::map<K, V>& values, WriteKey write_key, WriteVal write_val) {
+  template <typename K, typename V, typename Comp, typename WriteKey, typename WriteVal>
+  void WriteMap(const std::map<K, V, Comp>& values, WriteKey write_key, WriteVal write_val) {
     WriteVarint(values.size());
     for (const auto& [k, v] : values) {
       write_key(*this, k);
@@ -130,7 +152,9 @@ class Deserializer {
   }
 
   uint64_t ReadFixed64() {
-    if (pos_ + 8 > data_.size()) {
+    // Compare against the remaining bytes: `pos_ + 8 > data_.size()` would
+    // wrap around for pos_ near SIZE_MAX and let the check pass.
+    if (data_.size() - pos_ < 8) {
       throw SerdeError("truncated fixed64");
     }
     uint64_t value = 0;
@@ -141,12 +165,19 @@ class Deserializer {
     return value;
   }
 
-  std::string ReadString() {
+  std::string ReadString() { return std::string(ReadStringView()); }
+
+  // Zero-copy read: the returned view borrows from the deserializer's input
+  // and is valid only while that buffer lives. The bounds check compares the
+  // claimed size against the remaining bytes — an adversarial varint size
+  // near UINT64_MAX would make `pos_ + size` wrap and slip past a
+  // `pos_ + size > data_.size()` formulation.
+  std::string_view ReadStringView() {
     const uint64_t size = ReadVarint();
-    if (pos_ + size > data_.size()) {
+    if (size > data_.size() - pos_) {
       throw SerdeError("truncated string");
     }
-    std::string out(data_.substr(pos_, size));
+    std::string_view out = data_.substr(pos_, size);
     pos_ += size;
     return out;
   }

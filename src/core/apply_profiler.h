@@ -51,11 +51,19 @@ class ApplyProfiler {
     inclusive_micros_[label] += micros;
   }
 
-  // Adds to the total apply-thread busy time (recorded once per entry by the
-  // BaseEngine, spanning beginTX..postApply).
+  // Adds to the total apply-thread busy time (recorded once per group-commit
+  // batch by the BaseEngine, spanning beginTX..promise settlement).
   void RecordBusy(int64_t micros) {
     std::lock_guard<std::mutex> lock(mu_);
     total_busy_micros_ += micros;
+  }
+
+  // Records one group-commit batch of `records` log records (the apply
+  // pipeline commits one LocalStore transaction per batch).
+  void RecordBatch(int64_t records) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_batches_ += 1;
+    total_records_ += records;
   }
 
   std::map<std::string, int64_t> InclusiveMicros() const {
@@ -68,16 +76,38 @@ class ApplyProfiler {
     return total_busy_micros_;
   }
 
+  int64_t TotalBatches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_batches_;
+  }
+
+  int64_t TotalRecords() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_records_;
+  }
+
+  // Records applied per group-commit transaction; 0 when nothing ran.
+  double MeanBatchSize() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_batches_ == 0 ? 0.0
+                               : static_cast<double>(total_records_) /
+                                     static_cast<double>(total_batches_);
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     inclusive_micros_.clear();
     total_busy_micros_ = 0;
+    total_batches_ = 0;
+    total_records_ = 0;
   }
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, int64_t> inclusive_micros_;
   int64_t total_busy_micros_ = 0;
+  int64_t total_batches_ = 0;
+  int64_t total_records_ = 0;
 };
 
 }  // namespace delos

@@ -19,11 +19,13 @@ std::string EncodeBaseHeader(const std::string& instance_id, uint64_t seq) {
   return ser.Release();
 }
 
-std::pair<std::string, uint64_t> DecodeBaseHeader(const std::string& blob) {
+// Zero-copy decode: the instance id stays a view into the header blob (the
+// caller only compares it against its own id).
+std::pair<std::string_view, uint64_t> DecodeBaseHeader(std::string_view blob) {
   Deserializer de(blob);
-  std::string instance = de.ReadString();
+  std::string_view instance = de.ReadStringView();
   const uint64_t seq = de.ReadVarint();
-  return {std::move(instance), seq};
+  return {instance, seq};
 }
 
 std::string EncodePos(LogPos pos) {
@@ -50,6 +52,12 @@ BaseEngine::BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store,
   Rng rng(static_cast<uint64_t>(RealClock::Instance()->NowMicros()) ^
           Fnv1a64(options_.server_id));
   instance_id_ = options_.server_id + "#" + rng.String(8);
+  if (options_.metrics != nullptr) {
+    batch_size_hist_ = options_.metrics->GetHistogram("base.apply.batch_size");
+    commit_latency_hist_ = options_.metrics->GetHistogram("base.apply.commit_micros");
+    records_counter_ = options_.metrics->GetCounter("base.apply.records");
+    batches_counter_ = options_.metrics->GetCounter("base.apply.batches");
+  }
 }
 
 BaseEngine::~BaseEngine() { Stop(); }
@@ -73,23 +81,34 @@ void BaseEngine::Start() {
 }
 
 void BaseEngine::Stop() {
-  if (shutdown_.exchange(true)) {
+  const bool first = !shutdown_.exchange(true);
+  if (first) {
+    // Briefly take each mutex so no waiter can miss the flag flip.
+    { std::lock_guard<std::mutex> lock(apply_mu_); }
+    { std::lock_guard<std::mutex> lock(sync_mu_); }
+    apply_cv_.notify_all();
+    applied_cv_.notify_all();
+    sync_cv_.notify_all();
+    if (apply_thread_.joinable()) {
+      apply_thread_.join();
+    }
+    if (sync_thread_.joinable()) {
+      sync_thread_.join();
+    }
+    if (housekeeping_thread_.joinable()) {
+      housekeeping_thread_.join();
+    }
+  }
+  // Drain in-flight append continuations before touching pending_: a
+  // Propose that raced this Stop may still have a callback running inside
+  // the shared log, and it dereferences `this`. Runs on every Stop() call
+  // (the destructor calls Stop again) so the object never dies under a live
+  // callback.
+  while (inflight_appends_.load(std::memory_order_acquire) != 0) {
+    RealClock::Instance()->SleepMicros(50);
+  }
+  if (!first) {
     return;
-  }
-  // Briefly take each mutex so no waiter can miss the flag flip.
-  { std::lock_guard<std::mutex> lock(apply_mu_); }
-  { std::lock_guard<std::mutex> lock(sync_mu_); }
-  apply_cv_.notify_all();
-  applied_cv_.notify_all();
-  sync_cv_.notify_all();
-  if (apply_thread_.joinable()) {
-    apply_thread_.join();
-  }
-  if (sync_thread_.joinable()) {
-    sync_thread_.join();
-  }
-  if (housekeeping_thread_.joinable()) {
-    housekeeping_thread_.join();
   }
   // Fail anything still waiting.
   std::map<uint64_t, Promise<std::any>> pending;
@@ -126,25 +145,37 @@ Future<std::any> BaseEngine::Propose(LogEntry entry) {
     auto [it, inserted] = pending_.emplace(seq, Promise<std::any>());
     future = it->second.GetFuture();
   }
+  inflight_appends_.fetch_add(1, std::memory_order_acq_rel);
   log_->Append(std::move(bytes)).Then([this, seq](Result<LogPos> result) {
-    if (!result.ok()) {
-      std::optional<Promise<std::any>> promise;
-      {
-        std::lock_guard<std::mutex> lock(pending_mu_);
-        auto it = pending_.find(seq);
-        if (it != pending_.end()) {
-          promise.emplace(std::move(it->second));
-          pending_.erase(it);
-        }
-      }
-      if (promise.has_value()) {
-        promise->SetException(result.error());
-      }
-      return;
+    // Once shutdown began, the apply/sync machinery may already be torn
+    // down: just fail the proposal instead of scheduling playback. Stop()
+    // drains inflight_appends_, so `this` outlives this callback.
+    if (shutdown_.load(std::memory_order_acquire)) {
+      FailPending(seq,
+                  std::make_exception_ptr(LogUnavailableError("engine stopped before apply")));
+    } else if (!result.ok()) {
+      FailPending(seq, result.error());
+    } else {
+      RequestPlayTo(result.value());
     }
-    RequestPlayTo(result.value());
+    inflight_appends_.fetch_sub(1, std::memory_order_acq_rel);
   });
   return future;
+}
+
+void BaseEngine::FailPending(uint64_t seq, std::exception_ptr error) {
+  std::optional<Promise<std::any>> promise;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(seq);
+    if (it != pending_.end()) {
+      promise.emplace(std::move(it->second));
+      pending_.erase(it);
+    }
+  }
+  if (promise.has_value()) {
+    promise->SetException(std::move(error));
+  }
 }
 
 Future<ROTxn> BaseEngine::Sync() {
@@ -213,100 +244,169 @@ void BaseEngine::ApplyThreadMain() {
       if (records.empty()) {
         break;  // Target beyond the committed tail; more work will arrive.
       }
-      for (const LogRecord& record : records) {
-        if (shutdown_.load()) {
-          return;
-        }
-        ApplyRecord(record.pos, record.payload);
+      if (!ApplyBatch(records)) {
+        return;
       }
     }
   }
 }
 
-void BaseEngine::ApplyRecord(LogPos pos, const std::string& payload) {
+// Group-commit apply (the hottest path in the system): the whole ReadRange
+// batch shares one LocalStore transaction, so the per-record costs of the
+// old pipeline — BeginRW, cursor Put, Commit, applied_cv_ broadcast, and a
+// pending_mu_ acquisition — are paid once per batch. Each record still runs
+// inside its own savepoint so a DeterministicError rolls back exactly that
+// record (§3.4). The cursor committed with the batch equals the last record
+// applied in it; if anything non-deterministic happens mid-batch the
+// transaction is aborted and the store stays at the previous batch
+// boundary, so replay after a reboot is exact.
+bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
   const int64_t start_micros = RealClock::Instance()->NowMicros();
-  LogEntry entry;
-  try {
-    entry = LogEntry::Deserialize(payload);
-  } catch (const SerdeError& e) {
-    Fatal(std::string("corrupt log entry: ") + e.what());
-    return;
+
+  // Per-record outcome, carried across the commit barrier to postApply and
+  // promise settlement.
+  struct Outcome {
+    LogPos pos = kInvalidLogPos;
+    LogEntry entry;
+    std::any result;
+    bool apply_threw = false;
+    // Set when the entry's base header names this instance: a local propose
+    // is waiting on `seq`.
+    std::optional<uint64_t> local_seq;
+  };
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(records.size());
+
+  RWTxn txn;
+  {
+    static const std::string kBeginTxLabel = "base.beginTX";
+    ApplyProfiler::Scope scope(options_.profiler, kBeginTxLabel);
+    txn = store_->BeginRW();
   }
 
-  std::any result;
-  bool apply_threw = false;
-  {
-    RWTxn txn;
-    {
-      static const std::string kBeginTxLabel = "base.beginTX";
-      ApplyProfiler::Scope scope(options_.profiler, kBeginTxLabel);
-      txn = store_->BeginRW();
+  for (const LogRecord& record : records) {
+    if (shutdown_.load()) {
+      txn.Abort();
+      return false;
     }
-    txn.Put(cursor_key_, EncodePos(pos));
+    Outcome out;
+    out.pos = record.pos;
+    try {
+      // Borrowed parse first: validates the record and peeks the base
+      // header without copying; the owning entry for the upcall chain is
+      // materialized from the views in a single sized pass.
+      const LogEntryView view = LogEntryView::Parse(record.payload);
+      if (auto base = view.GetHeader(kBaseHeaderName); base.has_value()) {
+        const auto [instance, seq] = DecodeBaseHeader(base->blob);
+        if (instance == instance_id_) {
+          out.local_seq = seq;
+        }
+      }
+      out.entry = view.Materialize();
+    } catch (const SerdeError& e) {
+      txn.Abort();
+      Fatal(std::string("corrupt log entry: ") + e.what());
+      return false;
+    }
+
     {
       static const std::string kApplyLabel = "base.apply";
       ApplyProfiler::Scope scope(options_.profiler, kApplyLabel);
       const Savepoint savepoint = txn.MakeSavepoint();
       try {
         if (upcall_ != nullptr) {
-          result = upcall_->Apply(txn, entry, pos);
+          out.result = upcall_->Apply(txn, out.entry, record.pos);
         }
       } catch (const DeterministicError&) {
         txn.RollbackTo(savepoint);
-        result = ApplyError{std::current_exception()};
-        apply_threw = true;
+        out.result = ApplyError{std::current_exception()};
+        out.apply_threw = true;
       } catch (const std::exception& e) {
+        txn.Abort();
         Fatal(std::string("non-deterministic exception in apply: ") + e.what());
-        return;
+        return false;
       }
     }
-    {
-      static const std::string kCommitTxLabel = "base.commitTX";
-      ApplyProfiler::Scope scope(options_.profiler, kCommitTxLabel);
-      try {
-        txn.Commit();
-      } catch (const std::exception& e) {
-        Fatal(std::string("LocalStore commit failed: ") + e.what());
-        return;
-      }
+    outcomes.push_back(std::move(out));
+  }
+
+  // One cursor update + one commit for the whole batch. The cursor must be
+  // the last position applied in this transaction — that is the crash-
+  // consistency invariant replay depends on.
+  const LogPos batch_last = records.back().pos;
+  txn.Put(cursor_key_, EncodePos(batch_last));
+  {
+    static const std::string kCommitTxLabel = "base.commitTX";
+    ApplyProfiler::Scope scope(options_.profiler, kCommitTxLabel);
+    const int64_t commit_start = RealClock::Instance()->NowMicros();
+    try {
+      txn.Commit();
+    } catch (const std::exception& e) {
+      Fatal(std::string("LocalStore commit failed: ") + e.what());
+      return false;
+    }
+    if (commit_latency_hist_ != nullptr) {
+      commit_latency_hist_->Record(RealClock::Instance()->NowMicros() - commit_start);
     }
   }
+
   // postApply runs only when the upcall's apply committed: a layer that
   // threw directly had all its work rolled back, so it gets no postApply.
   // (Layers that converted an upstream failure into an ApplyError gate their
   // own forwarding.)
-  if (!apply_threw && upcall_ != nullptr) {
+  if (upcall_ != nullptr) {
     static const std::string kPostApplyLabel = "postApply";
-    ApplyProfiler::Scope scope(options_.profiler, kPostApplyLabel);
-    upcall_->PostApply(entry, pos);
+    for (const Outcome& out : outcomes) {
+      if (!out.apply_threw) {
+        ApplyProfiler::Scope scope(options_.profiler, kPostApplyLabel);
+        upcall_->PostApply(out.entry, out.pos);
+      }
+    }
   }
 
-  // Publish progress before completing the proposer, so that once a propose
-  // returns, applied_position() already covers it.
-  applied_pos_.store(pos, std::memory_order_release);
+  // Progress counters are bumped before applied_pos_ is published so that
+  // anyone woken by a Sync/propose observes counts covering this batch.
+  records_applied_.fetch_add(records.size(), std::memory_order_relaxed);
+  batches_committed_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.profiler != nullptr) {
+    options_.profiler->RecordBatch(static_cast<int64_t>(records.size()));
+  }
+  if (batch_size_hist_ != nullptr) {
+    batch_size_hist_->Record(static_cast<int64_t>(records.size()));
+    records_counter_->Increment(records.size());
+    batches_counter_->Increment();
+  }
+
+  // Publish progress once per batch, before completing the proposers, so
+  // that once a propose returns, applied_position() already covers it. The
+  // empty apply_mu_ critical section pairs with WaitForApply's
+  // check-then-wait so the broadcast cannot land in its window.
+  applied_pos_.store(batch_last, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(apply_mu_); }
   applied_cv_.notify_all();
 
-  // Relay the return value (or exception) to a locally waiting propose.
-  auto header = entry.GetHeader(kBaseHeaderName);
-  if (header.has_value()) {
-    auto [instance, seq] = DecodeBaseHeader(header->blob);
-    if (instance == instance_id_) {
-      std::optional<Promise<std::any>> promise;
-      {
-        std::lock_guard<std::mutex> lock(pending_mu_);
-        auto it = pending_.find(seq);
-        if (it != pending_.end()) {
-          promise.emplace(std::move(it->second));
-          pending_.erase(it);
-        }
+  // Batched completion: collect every waiting promise under one pending_mu_
+  // acquisition, settle them outside the lock.
+  std::vector<std::pair<Promise<std::any>, size_t>> completions;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].local_seq.has_value()) {
+        continue;
       }
-      if (promise.has_value()) {
-        if (IsApplyError(result)) {
-          promise->SetException(std::any_cast<ApplyError>(result).error);
-        } else {
-          promise->SetValue(std::move(result));
-        }
+      auto it = pending_.find(*outcomes[i].local_seq);
+      if (it != pending_.end()) {
+        completions.emplace_back(std::move(it->second), i);
+        pending_.erase(it);
       }
+    }
+  }
+  for (auto& [promise, index] : completions) {
+    std::any& result = outcomes[index].result;
+    if (IsApplyError(result)) {
+      promise.SetException(std::any_cast<ApplyError>(result).error);
+    } else {
+      promise.SetValue(std::move(result));
     }
   }
 
@@ -315,6 +415,7 @@ void BaseEngine::ApplyRecord(LogPos pos, const std::string& payload) {
   if (options_.profiler != nullptr) {
     options_.profiler->RecordBusy(busy);
   }
+  return true;
 }
 
 void BaseEngine::SyncThreadMain() {

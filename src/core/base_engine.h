@@ -7,8 +7,13 @@
 //    LocalStore transaction), and linearizable (ordered by the log).
 //  * Sync checks the log tail and plays forward to it; multiple syncs
 //    coalesce behind a single outstanding tail check.
-//  * The apply thread is the only LocalStore writer. Each entry gets one
-//    transaction: cursor update + upcall + commit, then postApply.
+//  * The apply thread is the only LocalStore writer. It plays the log in
+//    group-commit batches: one LocalStore transaction per ReadRange batch
+//    (up to play_batch_size records), each record applied inside its own
+//    savepoint-nested sub-transaction, then a single cursor update + commit,
+//    one applied-position publish, and one batched settlement of pending
+//    propose promises. The cursor committed with a batch always equals the
+//    last record applied in it, so replay after a crash is exact.
 //  * Background housekeeping flushes the LocalStore periodically (replay
 //    from the log covers the gap after a crash) and trims the log up to the
 //    prefix allowed by the stack (SetTrimPrefix), clamped to the durable
@@ -38,9 +43,13 @@ struct BaseEngineOptions {
   std::string server_id = "server0";
   int64_t flush_interval_micros = 50'000;
   int64_t trim_interval_micros = 200'000;
+  // Maximum records per group-commit batch (= per LocalStore transaction).
   LogPos play_batch_size = 128;
   // Optional instrumentation.
   ApplyProfiler* profiler = nullptr;
+  // Optional registry; when set the engine records base.apply.batch_size,
+  // base.apply.commit_micros, base.apply.records, and base.apply.batches.
+  MetricsRegistry* metrics = nullptr;
   // Invoked on non-deterministic failure; default aborts the process.
   std::function<void(const std::string&)> fatal_handler;
 };
@@ -70,6 +79,10 @@ class BaseEngine : public IEngine {
   // Cumulative apply-thread busy time (drives the Figure 8 utilization
   // bench).
   int64_t apply_busy_micros() const { return busy_micros_.load(std::memory_order_relaxed); }
+  // Group-commit counters: log records applied and LocalStore transactions
+  // committed by the apply pipeline. records/batches = mean batch size.
+  uint64_t apply_records() const { return records_applied_.load(std::memory_order_relaxed); }
+  uint64_t apply_batches() const { return batches_committed_.load(std::memory_order_relaxed); }
 
   // Forces one flush + durable-position update (tests; production relies on
   // the periodic housekeeping thread).
@@ -84,8 +97,15 @@ class BaseEngine : public IEngine {
   void ApplyThreadMain();
   void SyncThreadMain();
   void HousekeepingThreadMain();
-  void ApplyRecord(LogPos pos, const std::string& payload);
+  // Applies one ReadRange batch in a single LocalStore transaction (group
+  // commit). Returns false when the apply thread must exit (fatal error or
+  // shutdown); the transaction is aborted and the cursor stays at the last
+  // committed batch boundary.
+  bool ApplyBatch(const std::vector<LogRecord>& records);
   void RequestPlayTo(LogPos pos);
+  // Removes `seq` from the pending map and fails its promise (no-op if the
+  // proposal already completed).
+  void FailPending(uint64_t seq, std::exception_ptr error);
   // Blocks until applied_pos_ >= target or shutdown; returns false on
   // shutdown.
   bool WaitForApply(LogPos target);
@@ -105,8 +125,20 @@ class BaseEngine : public IEngine {
   std::atomic<LogPos> durable_pos_{0};
   std::atomic<LogPos> trim_allowed_{kNoTrimConstraint};
   std::atomic<int64_t> busy_micros_{0};
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> batches_committed_{0};
   std::atomic<uint64_t> next_seq_{1};
   std::atomic<bool> started_{false};
+  // Append continuations still running (or queued) inside the shared log.
+  // Stop() drains this to zero so no callback can touch the engine after
+  // teardown.
+  std::atomic<int64_t> inflight_appends_{0};
+  // Metric handles resolved once in the constructor (null without a
+  // registry).
+  Histogram* batch_size_hist_ = nullptr;
+  Histogram* commit_latency_hist_ = nullptr;
+  Counter* records_counter_ = nullptr;
+  Counter* batches_counter_ = nullptr;
 
   std::atomic<bool> shutdown_{false};
   std::mutex apply_mu_;

@@ -12,6 +12,9 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
   if (base_options.profiler == nullptr) {
     base_options.profiler = &profiler_;
   }
+  if (base_options.metrics == nullptr) {
+    base_options.metrics = &metrics_;
+  }
   base_ = std::make_unique<BaseEngine>(log_, store_.get(), std::move(base_options));
   top_ = base_.get();
 }

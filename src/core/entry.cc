@@ -4,8 +4,20 @@
 
 namespace delos {
 
+namespace {
+
+EngineHeaderView DecodeHeaderView(std::string_view bytes) {
+  Deserializer de(bytes);
+  EngineHeaderView header;
+  header.msgtype = de.ReadVarint();
+  header.blob = de.ReadStringView();
+  return header;
+}
+
+}  // namespace
+
 std::string LogEntry::Serialize() const {
-  Serializer ser;
+  Serializer ser(SerializedSize());
   ser.WriteMap(
       headers, [](Serializer& s, const std::string& k) { s.WriteString(k); },
       [](Serializer& s, const std::string& v) { s.WriteString(v); });
@@ -13,33 +25,69 @@ std::string LogEntry::Serialize() const {
   return ser.Release();
 }
 
+size_t LogEntry::SerializedSize() const {
+  size_t size = Serializer::VarintSize(headers.size());
+  for (const auto& [name, bytes] : headers) {
+    size += Serializer::StringSize(name) + Serializer::StringSize(bytes);
+  }
+  return size + Serializer::StringSize(payload);
+}
+
 LogEntry LogEntry::Deserialize(std::string_view bytes) {
-  Deserializer de(bytes);
-  LogEntry entry;
-  entry.headers = de.ReadMap<std::string, std::string>(
-      [](Deserializer& d) { return d.ReadString(); },
-      [](Deserializer& d) { return d.ReadString(); });
-  entry.payload = de.ReadString();
-  return entry;
+  return LogEntryView::Parse(bytes).Materialize();
 }
 
 void LogEntry::SetHeader(const std::string& engine, const EngineHeader& header) {
-  Serializer ser;
+  Serializer ser(Serializer::VarintSize(header.msgtype) + Serializer::StringSize(header.blob));
   ser.WriteVarint(header.msgtype);
   ser.WriteString(header.blob);
   headers[engine] = ser.Release();
 }
 
-std::optional<EngineHeader> LogEntry::GetHeader(const std::string& engine) const {
+std::optional<EngineHeader> LogEntry::GetHeader(std::string_view engine) const {
+  auto view = GetHeaderView(engine);
+  if (!view.has_value()) {
+    return std::nullopt;
+  }
+  return view->Materialize();
+}
+
+std::optional<EngineHeaderView> LogEntry::GetHeaderView(std::string_view engine) const {
   auto it = headers.find(engine);
   if (it == headers.end()) {
     return std::nullopt;
   }
-  Deserializer de(it->second);
-  EngineHeader header;
-  header.msgtype = de.ReadVarint();
-  header.blob = de.ReadString();
-  return header;
+  return DecodeHeaderView(it->second);
+}
+
+LogEntryView LogEntryView::Parse(std::string_view bytes) {
+  Deserializer de(bytes);
+  LogEntryView view;
+  const uint64_t count = de.ReadVarint();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view name = de.ReadStringView();
+    std::string_view value = de.ReadStringView();
+    view.headers.emplace(name, value);
+  }
+  view.payload = de.ReadStringView();
+  return view;
+}
+
+std::optional<EngineHeaderView> LogEntryView::GetHeader(std::string_view engine) const {
+  auto it = headers.find(engine);
+  if (it == headers.end()) {
+    return std::nullopt;
+  }
+  return DecodeHeaderView(it->second);
+}
+
+LogEntry LogEntryView::Materialize() const {
+  LogEntry entry;
+  for (const auto& [name, bytes] : headers) {
+    entry.headers.emplace(std::string(name), std::string(bytes));
+  }
+  entry.payload = std::string(payload);
+  return entry;
 }
 
 LogEntry MakeControlEntry(const std::string& engine, uint64_t msgtype, std::string blob) {

@@ -27,18 +27,53 @@ struct EngineHeader {
   std::string blob;  // engine-specific serialized fields
 };
 
+// Borrowed header: blob points into the entry (or log record) it was read
+// from and is valid only while that buffer lives. The apply path uses these
+// so per-entry header dispatch never copies blobs.
+struct EngineHeaderView {
+  uint64_t msgtype = kMsgTypeApp;
+  std::string_view blob;
+
+  EngineHeader Materialize() const { return EngineHeader{msgtype, std::string(blob)}; }
+};
+
 struct LogEntry {
   // Engine name -> serialized EngineHeader.
-  std::map<std::string, std::string> headers;
+  std::map<std::string, std::string, std::less<>> headers;
   // Application payload (opaque to all engines).
   std::string payload;
 
   std::string Serialize() const;
+  // Exact encoded size of Serialize()'s output (used to right-size buffers).
+  size_t SerializedSize() const;
   static LogEntry Deserialize(std::string_view bytes);
 
   void SetHeader(const std::string& engine, const EngineHeader& header);
-  std::optional<EngineHeader> GetHeader(const std::string& engine) const;
-  bool HasHeader(const std::string& engine) const { return headers.count(engine) != 0; }
+  std::optional<EngineHeader> GetHeader(std::string_view engine) const;
+  // Zero-copy variant: the returned blob borrows from this entry's stored
+  // header and must not outlive it (nor a SetHeader on the same engine).
+  std::optional<EngineHeaderView> GetHeaderView(std::string_view engine) const;
+  bool HasHeader(std::string_view engine) const { return headers.count(engine) != 0; }
+};
+
+// Borrowed decode of a serialized LogEntry: every header name, header bytes,
+// and the payload are string_views into the input buffer — nothing is
+// copied. The apply pipeline parses each log record into a view first (cheap
+// validation + base-header peek) and materializes an owning LogEntry only
+// when the record is handed to the upcall chain.
+struct LogEntryView {
+  std::map<std::string_view, std::string_view, std::less<>> headers;
+  std::string_view payload;
+
+  // Throws SerdeError on malformed input. `bytes` must outlive the view.
+  static LogEntryView Parse(std::string_view bytes);
+
+  std::optional<EngineHeaderView> GetHeader(std::string_view engine) const;
+  bool HasHeader(std::string_view engine) const { return headers.count(engine) != 0; }
+
+  // Copies the borrowed maps/payload into an owning entry, reserving exact
+  // sizes (single pass, no re-parse).
+  LogEntry Materialize() const;
 };
 
 // Convenience for engines generating their own control entries.

@@ -51,8 +51,15 @@ void StackableEngine::RelayTrim() {
 std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   ApplyProfiler::Scope scope(options_.profiler, apply_label_);
   upstream_applied_ = false;
+  std::any result = ApplyImpl(txn, entry, pos);
+  upstream_applied_carry_.Push(pos, upstream_applied_);
+  return result;
+}
 
-  auto header = entry.GetHeader(name_);
+std::any StackableEngine::ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  // Borrowed header peek: the app-data hot path only needs the msgtype, so
+  // no blob is copied; the control path materializes the header it consumes.
+  auto header = entry.GetHeaderView(name_);
   if (header.has_value() && header->msgtype != kMsgTypeApp) {
     // Engine-generated control entry: consumed here, never forwarded.
     if (header->msgtype == kMsgTypeEnable) {
@@ -68,7 +75,7 @@ std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
     }
     const Savepoint savepoint = txn.MakeSavepoint();
     try {
-      return ApplyControl(txn, *header, entry, pos);
+      return ApplyControl(txn, header->Materialize(), entry, pos);
     } catch (const DeterministicError&) {
       txn.RollbackTo(savepoint);
       return std::any(ApplyError{std::current_exception()});
@@ -110,7 +117,11 @@ std::any StackableEngine::CallUpstream(RWTxn& txn, const LogEntry& entry, LogPos
 
 void StackableEngine::PostApply(const LogEntry& entry, LogPos pos) {
   ApplyProfiler::Scope scope(options_.profiler, postapply_label_);
-  auto header = entry.GetHeader(name_);
+  // Restore this entry's parked flag before dispatching so ForwardPostApply
+  // (called from the hooks below) sees the value Apply computed for `pos`,
+  // not for whatever record the batch applied last.
+  upstream_applied_ = upstream_applied_carry_.Take(pos).value_or(false);
+  auto header = entry.GetHeaderView(name_);
   if (header.has_value() && header->msgtype != kMsgTypeApp) {
     if (header->msgtype == kMsgTypeEnable) {
       enabled_.store(true, std::memory_order_release);
@@ -123,7 +134,7 @@ void StackableEngine::PostApply(const LogEntry& entry, LogPos pos) {
       return;
     }
     if (enabled()) {
-      PostApplyControl(*header, entry, pos);
+      PostApplyControl(header->Materialize(), entry, pos);
     }
     return;
   }

@@ -17,13 +17,51 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "src/common/metrics.h"
 #include "src/core/apply_profiler.h"
 #include "src/core/engine.h"
 
 namespace delos {
+
+// Apply→postApply scratch parking for the group-commit pipeline.
+//
+// The BaseEngine applies a whole batch of log records inside one LocalStore
+// transaction before running any postApply, so an engine that stashes
+// per-entry state in a plain member between its Apply and PostApply hooks
+// would see that member overwritten by later records in the batch. Engines
+// instead park the scratch here keyed by log position at the end of Apply
+// and take it back at the start of PostApply. Both hooks run on the single
+// apply thread, so no locking is needed, and positions arrive in log order,
+// so a deque suffices.
+template <typename T>
+class ApplyCarry {
+ public:
+  void Push(LogPos pos, T state) { fifo_.push_back({pos, std::move(state)}); }
+
+  // Returns the state parked for `pos`. Earlier leftover entries — records
+  // whose postApply never ran because the top-level apply threw — are
+  // discarded. Returns nullopt when nothing was parked for `pos` (e.g. this
+  // engine's Apply itself threw a deterministic error before parking).
+  std::optional<T> Take(LogPos pos) {
+    while (!fifo_.empty() && fifo_.front().first < pos) {
+      fifo_.pop_front();
+    }
+    if (fifo_.empty() || fifo_.front().first != pos) {
+      return std::nullopt;
+    }
+    T state = std::move(fifo_.front().second);
+    fifo_.pop_front();
+    return state;
+  }
+
+ private:
+  std::deque<std::pair<LogPos, T>> fifo_;
+};
 
 // Control message types handled by StackableEngine itself. Engine-specific
 // control types must be in [1, 999].
@@ -111,6 +149,7 @@ class StackableEngine : public IEngine, public IApplicator {
 
  private:
   void RelayTrim();
+  std::any ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos);
 
   std::string name_;
   // Precomputed profiler labels (hot-path Scope takes a reference).
@@ -126,8 +165,10 @@ class StackableEngine : public IEngine, public IApplicator {
   std::atomic<LogPos> upstream_constraint_{kNoTrimConstraint};
   std::atomic<LogPos> own_trim_opinion_{kNoTrimConstraint};
   // Per-entry flag (apply thread only): did the upstream apply run for the
-  // entry currently being applied?
+  // entry currently being applied? Parked per position across the batch gap
+  // between Apply and PostApply.
   bool upstream_applied_ = false;
+  ApplyCarry<bool> upstream_applied_carry_;
 };
 
 }  // namespace delos

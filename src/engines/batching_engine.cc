@@ -121,15 +121,17 @@ std::any BatchingEngine::ApplyControl(RWTxn& txn, const EngineHeader& header,
     return std::any(Unit{});
   }
   // Group commit: every sub-entry applies within this one transaction.
-  applying_batch_ = DecodeBatch(header.blob);
-  applying_ok_.assign(applying_batch_.size(), false);
+  AppliedBatch applied;
+  applied.entries = DecodeBatch(header.blob);
+  applied.ok.assign(applied.entries.size(), false);
   std::vector<std::any> results;
-  results.reserve(applying_batch_.size());
-  for (size_t i = 0; i < applying_batch_.size(); ++i) {
-    std::any result = CallUpstream(txn, applying_batch_[i], pos);
-    applying_ok_[i] = !IsApplyError(result);
+  results.reserve(applied.entries.size());
+  for (size_t i = 0; i < applied.entries.size(); ++i) {
+    std::any result = CallUpstream(txn, applied.entries[i], pos);
+    applied.ok[i] = !IsApplyError(result);
     results.push_back(std::move(result));
   }
+  applying_carry_.Push(pos, std::move(applied));
   return std::any(std::move(results));
 }
 
@@ -138,13 +140,12 @@ void BatchingEngine::PostApplyControl(const EngineHeader& header, const LogEntry
   if (header.msgtype != kMsgTypeBatch || upstream() == nullptr) {
     return;
   }
-  for (size_t i = 0; i < applying_batch_.size(); ++i) {
-    if (applying_ok_[i]) {
-      upstream()->PostApply(applying_batch_[i], pos);
+  const AppliedBatch applied = applying_carry_.Take(pos).value_or(AppliedBatch{});
+  for (size_t i = 0; i < applied.entries.size(); ++i) {
+    if (applied.ok[i]) {
+      upstream()->PostApply(applied.entries[i], pos);
     }
   }
-  applying_batch_.clear();
-  applying_ok_.clear();
 }
 
 }  // namespace delos

@@ -63,10 +63,13 @@ class BatchingEngine : public StackableEngine {
   std::atomic<uint64_t> entries_batched_{0};
   TimerScheduler scheduler_;
 
-  // Apply-thread-only scratch: decoded sub-entries of the batch being
-  // applied and whether each sub-apply ran (for postApply forwarding).
-  std::vector<LogEntry> applying_batch_;
-  std::vector<bool> applying_ok_;
+  // Apply-thread-only scratch parked per position: decoded sub-entries of an
+  // applied batch and whether each sub-apply ran (for postApply forwarding).
+  struct AppliedBatch {
+    std::vector<LogEntry> entries;
+    std::vector<bool> ok;
+  };
+  ApplyCarry<AppliedBatch> applying_carry_;
 };
 
 }  // namespace delos

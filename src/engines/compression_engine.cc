@@ -41,21 +41,23 @@ void CompressionEngine::OnPropose(LogEntry* entry) {
 }
 
 std::any CompressionEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  forwarded_decompressed_ = false;
   auto header = entry.GetHeader(name());
   if (!header.has_value() || header->blob != "1") {
+    decompressed_carry_.Push(pos, std::nullopt);
     return CallUpstream(txn, entry, pos);
   }
   // Restore the payload; the layers above see the original entry.
-  decompressed_entry_ = entry;
-  decompressed_entry_.payload = Decompress(entry.payload);
-  forwarded_decompressed_ = true;
-  return CallUpstream(txn, decompressed_entry_, pos);
+  LogEntry decompressed = entry;
+  decompressed.payload = Decompress(entry.payload);
+  std::any result = CallUpstream(txn, decompressed, pos);
+  decompressed_carry_.Push(pos, std::move(decompressed));
+  return result;
 }
 
 void CompressionEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
-  if (forwarded_decompressed_) {
-    ForwardPostApply(decompressed_entry_, pos);
+  std::optional<LogEntry> decompressed = decompressed_carry_.Take(pos).value_or(std::nullopt);
+  if (decompressed.has_value()) {
+    ForwardPostApply(*decompressed, pos);
   } else {
     ForwardPostApply(entry, pos);
   }

@@ -40,10 +40,10 @@ class CompressionEngine : public StackableEngine {
   Options options_;
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
-  // Apply-thread scratch: the decompressed entry forwarded upstream for the
-  // entry currently being applied (postApply must forward the same view).
-  LogEntry decompressed_entry_;
-  bool forwarded_decompressed_ = false;
+  // Apply-thread scratch parked per position: the decompressed entry
+  // forwarded upstream for an applied entry (postApply must forward the same
+  // view). Empty optional = the original entry was forwarded unchanged.
+  ApplyCarry<std::optional<LogEntry>> decompressed_carry_;
 };
 
 }  // namespace delos

@@ -132,30 +132,27 @@ std::any LeaseEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
 
 std::any LeaseEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const LogEntry& entry,
                                    LogPos pos) {
-  just_acquired_self_ = false;
-  just_renewed_self_ = false;
   const std::string state_key = space().Key("state");
 
   if (header.msgtype == kMsgTypeAcquire) {
     Deserializer de(header.blob);
     const std::string requester = de.ReadString();
     LeaseState state = ReadState(txn);
+    LeaseCarry carry;
     if (state.holder.empty()) {
       state.holder = requester;
       state.epoch += 1;
       state.renewal_seq += 1;
       txn.Put(state_key, state.Encode());
-      if (requester == options_.server_id) {
-        just_acquired_self_ = true;
-      }
+      carry.acquired_self = (requester == options_.server_id);
+      lease_carry_.Push(pos, carry);
       return std::any(true);
     }
     if (state.holder == requester) {
       state.renewal_seq += 1;
       txn.Put(state_key, state.Encode());
-      if (requester == options_.server_id) {
-        just_renewed_self_ = true;
-      }
+      carry.renewed_self = (requester == options_.server_id);
+      lease_carry_.Push(pos, carry);
       return std::any(true);
     }
     return std::any(false);
@@ -180,6 +177,7 @@ std::any LeaseEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const
 
 void LeaseEngine::PostApplyControl(const EngineHeader& header, const LogEntry& entry,
                                    LogPos pos) {
+  const LeaseCarry carry = lease_carry_.Take(pos).value_or(LeaseCarry{});
   const LeaseState state = ReadStateSnapshot();
   std::lock_guard<std::mutex> lock(soft_mu_);
   const int64_t now = clock_->NowMicros();
@@ -187,11 +185,9 @@ void LeaseEngine::PostApplyControl(const EngineHeader& header, const LogEntry& e
   observed_renewal_seq_ = state.renewal_seq;
   observed_holder_ = state.holder;
   observed_at_micros_ = now;
-  if (just_acquired_self_ || just_renewed_self_) {
+  if (carry.acquired_self || carry.renewed_self) {
     held_by_self_ = true;
     valid_until_micros_ = now + options_.lease_ttl_micros - options_.guard_epsilon_micros;
-    just_acquired_self_ = false;
-    just_renewed_self_ = false;
   } else if (state.holder != options_.server_id) {
     held_by_self_ = false;
     valid_until_micros_ = 0;

@@ -109,9 +109,13 @@ class LeaseEngine : public StackableEngine {
   std::string observed_holder_;
   int64_t observed_at_micros_ = 0;     // local-clock time we applied it
 
-  // Apply-thread scratch: did the entry being applied grant us the lease?
-  bool just_acquired_self_ = false;
-  bool just_renewed_self_ = false;
+  // Apply-thread scratch parked per position: did an applied entry grant or
+  // renew the lease for us?
+  struct LeaseCarry {
+    bool acquired_self = false;
+    bool renewed_self = false;
+  };
+  ApplyCarry<LeaseCarry> lease_carry_;
 
   std::atomic<bool> shutdown_{false};
   std::thread renew_thread_;

@@ -86,17 +86,18 @@ std::any LogBackupEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos po
 
 std::any LogBackupEngine::ApplyControl(RWTxn& txn, const EngineHeader& header,
                                        const LogEntry& entry, LogPos pos) {
-  won_segment_ = kNoSegment;
   if (header.msgtype == kMsgTypeBid) {
     auto [segment, bidder] = DecodeSegmentMsg(header.blob);
     const std::string key = space().Key(SegmentKeySuffix(segment));
+    uint64_t won = kNoSegment;
     if (!txn.Get(key).has_value()) {
       // First bid in the log wins.
       txn.Put(key, EncodeBidState(bidder, /*done=*/false));
       if (bidder == options_.server_id) {
-        won_segment_ = segment;
+        won = segment;
       }
     }
+    won_segment_carry_.Push(pos, won);
     return std::any(Unit{});
   }
   if (header.msgtype == kMsgTypeComplete) {
@@ -140,9 +141,11 @@ void LogBackupEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
 
 void LogBackupEngine::PostApplyControl(const EngineHeader& header, const LogEntry& entry,
                                        LogPos pos) {
-  if (header.msgtype == kMsgTypeBid && won_segment_ != kNoSegment) {
-    upload_queue_.Push(won_segment_);
-    won_segment_ = kNoSegment;
+  if (header.msgtype == kMsgTypeBid) {
+    const uint64_t won = won_segment_carry_.Take(pos).value_or(kNoSegment);
+    if (won != kNoSegment) {
+      upload_queue_.Push(won);
+    }
   }
   if (header.msgtype == kMsgTypeComplete) {
     const LogPos prefix = backed_prefix_.load(std::memory_order_acquire);

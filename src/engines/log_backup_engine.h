@@ -70,10 +70,10 @@ class LogBackupEngine : public StackableEngine {
   // Segments this server won and must upload.
   BlockingQueue<uint64_t> upload_queue_;
   std::thread upload_worker_;
-  // Apply-thread-only scratch: segment won by us in the entry being applied
-  // (kNoSegment if none).
+  // Apply-thread-only scratch parked per position: segment won by us in an
+  // applied entry (kNoSegment if none).
   static constexpr uint64_t kNoSegment = UINT64_MAX;
-  uint64_t won_segment_ = kNoSegment;
+  ApplyCarry<uint64_t> won_segment_carry_;
   // Apply-thread-only: first segment whose bid we have not yet checked.
   uint64_t next_bid_check_ = 0;
 };

@@ -93,18 +93,22 @@ Future<std::any> SessionOrderEngine::Propose(LogEntry entry) {
 }
 
 std::any SessionOrderEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  last_outcome_ = Outcome::kNone;
-  last_was_ours_ = false;
-  last_result_ = std::any();
+  Carried carried;
+  std::any result = ApplyDataImpl(txn, entry, pos, carried);
+  carry_.Push(pos, std::move(carried));
+  return result;
+}
 
+std::any SessionOrderEngine::ApplyDataImpl(RWTxn& txn, const LogEntry& entry, LogPos pos,
+                                           Carried& carried) {
   auto header = entry.GetHeader(name());
   if (!header.has_value()) {
     // Entry from a stack iteration without this engine: pass through.
     return CallUpstream(txn, entry, pos);
   }
   auto [session, seq] = DecodeSessionHeader(header->blob);
-  last_was_ours_ = (session == session_id_);
-  last_seq_ = seq;
+  carried.was_ours = (session == session_id_);
+  carried.seq = seq;
 
   const std::string next_key = space().Key("next/" + session);
   auto stored = txn.Get(next_key);
@@ -112,51 +116,52 @@ std::any SessionOrderEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos
 
   if (seq == expected) {
     txn.Put(next_key, EncodeSeq(seq + 1));
-    last_outcome_ = Outcome::kApplied;
+    carried.outcome = Outcome::kApplied;
     std::any result = CallUpstream(txn, entry, pos);
-    if (last_was_ours_) {
-      last_result_ = result;
+    if (carried.was_ours) {
+      carried.result = result;
     }
     return result;
   }
   if (seq < expected) {
     // Duplicate from a re-propose: filtered — exactly-once semantics.
     duplicates_filtered_.fetch_add(1, std::memory_order_relaxed);
-    last_outcome_ = Outcome::kDuplicate;
+    carried.outcome = Outcome::kDuplicate;
     return std::any(Unit{});
   }
   // Gap: the log reordered this session's entries. Filter; the proposer
   // re-proposes everything from `expected` on.
   disorder_events_.fetch_add(1, std::memory_order_relaxed);
-  last_outcome_ = Outcome::kGap;
+  carried.outcome = Outcome::kGap;
   return std::any(Unit{});
 }
 
 void SessionOrderEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
-  switch (last_outcome_) {
+  const Carried carried = carry_.Take(pos).value_or(Carried{});
+  switch (carried.outcome) {
     case Outcome::kApplied:
-      if (last_was_ours_) {
+      if (carried.was_ours) {
         // Short-circuit: notify the waiting propose directly.
         std::shared_ptr<Promise<std::any>> promise;
         {
           std::lock_guard<std::mutex> lock(pending_mu_);
-          auto it = pending_.find(last_seq_);
+          auto it = pending_.find(carried.seq);
           if (it != pending_.end()) {
             promise = it->second.promise;
             pending_.erase(it);
           }
         }
         if (promise != nullptr) {
-          if (IsApplyError(last_result_)) {
-            promise->SetException(std::any_cast<ApplyError>(last_result_).error);
+          if (IsApplyError(carried.result)) {
+            promise->SetException(std::any_cast<ApplyError>(carried.result).error);
           } else {
-            promise->SetValue(last_result_);
+            promise->SetValue(carried.result);
           }
         }
       }
       break;
     case Outcome::kGap:
-      if (last_was_ours_) {
+      if (carried.was_ours) {
         // Our own entry arrived out of order: re-propose the whole pending
         // window starting at the gap, with original sequence numbers.
         ReproposeFrom(0);
@@ -166,7 +171,6 @@ void SessionOrderEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
     case Outcome::kNone:
       break;
   }
-  last_outcome_ = Outcome::kNone;
   ForwardPostApply(entry, pos);
 }
 

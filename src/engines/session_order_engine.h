@@ -56,6 +56,17 @@ class SessionOrderEngine : public StackableEngine {
 
   enum class Outcome { kNone, kApplied, kDuplicate, kGap };
 
+  // Apply-thread scratch connecting Apply to PostApply for one entry, parked
+  // per log position because the group-commit pipeline applies a whole batch
+  // before running any postApply.
+  struct Carried {
+    Outcome outcome = Outcome::kNone;
+    bool was_ours = false;
+    uint64_t seq = 0;
+    std::any result;
+  };
+
+  std::any ApplyDataImpl(RWTxn& txn, const LogEntry& entry, LogPos pos, Carried& carried);
   void ReproposeFrom(uint64_t first_seq);
 
   Options options_;
@@ -70,11 +81,7 @@ class SessionOrderEngine : public StackableEngine {
   std::atomic<uint64_t> disorder_events_{0};
   std::atomic<uint64_t> duplicates_filtered_{0};
 
-  // Apply-thread-only scratch connecting Apply to PostApply for one entry.
-  Outcome last_outcome_ = Outcome::kNone;
-  bool last_was_ours_ = false;
-  uint64_t last_seq_ = 0;
-  std::any last_result_;
+  ApplyCarry<Carried> carry_;
 };
 
 }  // namespace delos

@@ -90,6 +90,19 @@ bool TimeEngine::IsFired(const std::string& id) const {
 
 std::any TimeEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const LogEntry& entry,
                                   LogPos pos) {
+  std::any result = ApplyControlImpl(txn, header, entry, pos);
+  // Park the scratch for this position: the group-commit pipeline applies a
+  // whole batch before any postApply, so a later record in the batch would
+  // otherwise clobber the members.
+  timer_carry_.Push(pos, TimerCarry{std::move(just_fired_id_), just_fired_create_pos_,
+                                    std::move(just_created_id_), just_created_duration_});
+  just_fired_id_.clear();
+  just_created_id_.clear();
+  return result;
+}
+
+std::any TimeEngine::ApplyControlImpl(RWTxn& txn, const EngineHeader& header,
+                                      const LogEntry& entry, LogPos pos) {
   just_fired_id_.clear();
   just_created_id_.clear();
 
@@ -140,14 +153,14 @@ std::any TimeEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const 
 }
 
 void TimeEngine::PostApplyControl(const EngineHeader& header, const LogEntry& entry, LogPos pos) {
-  if (!just_created_id_.empty()) {
+  const TimerCarry carry = timer_carry_.Take(pos).value_or(TimerCarry{});
+  if (!carry.created_id.empty()) {
     // Start the local countdown; when it expires on this server's clock,
     // report ELAPSED through the log. Polling (rather than sleeping the full
     // duration) keeps countdowns responsive to simulated clocks and engine
     // shutdown.
-    const std::string id = just_created_id_;
-    const int64_t deadline = clock_->NowMicros() + just_created_duration_;
-    just_created_id_.clear();
+    const std::string id = carry.created_id;
+    const int64_t deadline = clock_->NowMicros() + carry.created_duration;
     std::lock_guard<std::mutex> lock(threads_mu_);
     countdown_threads_.emplace_back([this, id, deadline] {
       while (!shutdown_.load(std::memory_order_acquire)) {
@@ -159,16 +172,15 @@ void TimeEngine::PostApplyControl(const EngineHeader& header, const LogEntry& en
       }
     });
   }
-  if (!just_fired_id_.empty()) {
+  if (!carry.fired_id.empty()) {
     std::vector<FireCallback> callbacks;
     {
       std::lock_guard<std::mutex> lock(callbacks_mu_);
       callbacks = callbacks_;
     }
     for (const auto& callback : callbacks) {
-      callback(just_fired_id_, just_fired_create_pos_);
+      callback(carry.fired_id, carry.fired_create_pos);
     }
-    just_fired_id_.clear();
   }
 }
 

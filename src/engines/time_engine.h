@@ -63,6 +63,9 @@ class TimeEngine : public StackableEngine {
   static constexpr uint64_t kMsgTypeCreate = 1;
   static constexpr uint64_t kMsgTypeElapsed = 2;
 
+  std::any ApplyControlImpl(RWTxn& txn, const EngineHeader& header, const LogEntry& entry,
+                            LogPos pos);
+
   Options options_;
   Clock* clock_;
   // Per-timer countdown threads: each polls the (possibly simulated) clock
@@ -74,13 +77,22 @@ class TimeEngine : public StackableEngine {
   std::mutex callbacks_mu_;
   std::vector<FireCallback> callbacks_;
 
-  // Apply-thread-only scratch: timer that transitioned to fired in the entry
-  // being applied.
+  // Apply-thread-only scratch (valid within one ApplyControlImpl call, then
+  // parked per position in timer_carry_ for PostApplyControl): timer that
+  // transitioned to fired in the entry being applied.
   std::string just_fired_id_;
   LogPos just_fired_create_pos_ = 0;
   // Timer created by the entry being applied (schedule countdown post-commit).
   std::string just_created_id_;
   int64_t just_created_duration_ = 0;
+
+  struct TimerCarry {
+    std::string fired_id;
+    LogPos fired_create_pos = 0;
+    std::string created_id;
+    int64_t created_duration = 0;
+  };
+  ApplyCarry<TimerCarry> timer_carry_;
 };
 
 // Time-based trimming (the TimeEngine's production use case): creates a

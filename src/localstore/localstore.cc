@@ -92,6 +92,7 @@ RWTxn& RWTxn::operator=(RWTxn&& other) noexcept {
     base_version_ = other.base_version_;
     ops_ = std::move(other.ops_);
     write_index_ = std::move(other.write_index_);
+    prev_index_ = std::move(other.prev_index_);
     other.store_ = nullptr;
   }
   return *this;
@@ -108,12 +109,19 @@ void RWTxn::Release() {
 
 void RWTxn::Put(std::string_view key, std::string_view value) {
   ops_.push_back(Op{std::string(key), std::string(value)});
-  write_index_[std::string(key)] = ops_.size() - 1;
+  RecordWrite();
 }
 
 void RWTxn::Delete(std::string_view key) {
   ops_.push_back(Op{std::string(key), std::nullopt});
-  write_index_[std::string(key)] = ops_.size() - 1;
+  RecordWrite();
+}
+
+void RWTxn::RecordWrite() {
+  const size_t index = ops_.size() - 1;
+  auto [it, inserted] = write_index_.try_emplace(ops_[index].key, index);
+  prev_index_.push_back(inserted ? std::nullopt : std::make_optional(it->second));
+  it->second = index;
 }
 
 std::optional<std::string> RWTxn::Get(std::string_view key) const {
@@ -174,11 +182,20 @@ void RWTxn::RollbackTo(const Savepoint& savepoint) {
   if (savepoint.op_count > ops_.size()) {
     throw StoreError("rollback to a savepoint from a different transaction");
   }
-  ops_.resize(savepoint.op_count);
-  write_index_.clear();
-  for (size_t i = 0; i < ops_.size(); ++i) {
-    write_index_[ops_[i].key] = i;
+  // Undo the write index incrementally, newest op first, restoring whatever
+  // entry each op displaced. Cost is proportional to the ops rolled back, so
+  // a savepoint at a batch boundary (nothing after it) is free and an
+  // aborted entry late in a large group-commit batch never pays for the
+  // entries before it.
+  for (size_t i = ops_.size(); i-- > savepoint.op_count;) {
+    if (prev_index_[i].has_value()) {
+      write_index_[ops_[i].key] = *prev_index_[i];
+    } else {
+      write_index_.erase(ops_[i].key);
+    }
   }
+  ops_.resize(savepoint.op_count);
+  prev_index_.resize(savepoint.op_count);
 }
 
 void RWTxn::Commit() {

@@ -134,12 +134,20 @@ class RWTxn {
 
   RWTxn(LocalStore* store, uint64_t base_version) : store_(store), base_version_(base_version) {}
   void Release();
+  // Updates write_index_/prev_index_ for the op just pushed onto ops_.
+  void RecordWrite();
 
   LocalStore* store_ = nullptr;
   uint64_t base_version_ = 0;
   std::vector<Op> ops_;
-  // Latest op index per key, for read-your-writes. Rebuilt on rollback.
+  // Latest op index per key, for read-your-writes.
   std::map<std::string, size_t, std::less<>> write_index_;
+  // prev_index_[i]: the write_index_ entry op i displaced for its key (or
+  // nullopt if the key was fresh). Lets RollbackTo undo the index in
+  // O(rolled-back ops) instead of rebuilding it from the whole batch — the
+  // group-commit apply pipeline accumulates many entries' ops in one
+  // transaction, so a mid-batch rollback must not scan the entire batch.
+  std::vector<std::optional<size_t>> prev_index_;
 };
 
 class LocalStore {

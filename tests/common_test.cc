@@ -12,6 +12,7 @@
 #include "src/common/random.h"
 #include "src/common/scheduler.h"
 #include "src/common/serde.h"
+#include "src/core/entry.h"
 
 namespace delos {
 namespace {
@@ -106,6 +107,53 @@ TEST(SerdeTest, MalformedVarintThrows) {
   const std::string bytes(11, '\xff');  // continuation bit forever
   Deserializer de(bytes);
   EXPECT_THROW(de.ReadVarint(), SerdeError);
+}
+
+TEST(SerdeTest, HugeClaimedStringSizeThrows) {
+  // A length prefix near UINT64_MAX must not wrap the bounds check
+  // (`pos_ + size` overflows to a small number) and read out of bounds.
+  Serializer ser;
+  ser.WriteVarint(UINT64_MAX);
+  ser.WriteVarint(UINT64_MAX - 7);  // crafted so pos_ + size wraps past zero
+  Deserializer de(ser.buffer());
+  EXPECT_THROW(de.ReadString(), SerdeError);
+  EXPECT_THROW(de.ReadStringView(), SerdeError);
+}
+
+TEST(SerdeTest, ClaimedSizeJustPastEndThrows) {
+  Serializer ser;
+  ser.WriteVarint(6);  // claims 6 bytes, only 5 present
+  const std::string bytes = ser.buffer() + "hello";
+  Deserializer de(bytes);
+  EXPECT_THROW(de.ReadStringView(), SerdeError);
+}
+
+TEST(SerdeTest, TruncatedFixed64AtTailThrows) {
+  // Fewer than 8 bytes remaining: the subtraction-based check must catch it
+  // even when pos_ is within 8 of the end.
+  const std::string bytes("\x01\x02\x03", 3);
+  Deserializer de(bytes);
+  EXPECT_THROW(de.ReadFixed64(), SerdeError);
+}
+
+TEST(SerdeTest, ReadStringViewBorrowsFromInput) {
+  Serializer ser;
+  ser.WriteString("zero-copy");
+  const std::string bytes = ser.buffer();
+  Deserializer de(bytes);
+  std::string_view view = de.ReadStringView();
+  EXPECT_EQ(view, "zero-copy");
+  // The view must point into the input buffer, not a copy.
+  EXPECT_GE(view.data(), bytes.data());
+  EXPECT_LE(view.data() + view.size(), bytes.data() + bytes.size());
+}
+
+TEST(SerdeTest, MalformedLogEntryHeaderCountThrows) {
+  // A corrupt entry claiming a huge header map must fail parsing cleanly
+  // rather than over-read.
+  Serializer ser;
+  ser.WriteVarint(1u << 20);  // header count with no header bytes
+  EXPECT_THROW(LogEntry::Deserialize(ser.buffer()), SerdeError);
 }
 
 // --- future ---

@@ -102,6 +102,94 @@ TEST(LocalStoreTest, NestedSavepoints) {
   txn.Commit();
 }
 
+// Group-commit batches lean on rollback being O(rolled-back ops): the
+// write-index overlay must restore the *previous* in-transaction version of
+// a key, not just drop the op. These cover the overlay bookkeeping.
+TEST(LocalStoreTest, RollbackRestoresPriorOverlayVersion) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("k", "committed");
+    txn.Commit();
+  }
+  RWTxn txn = store.BeginRW();
+  txn.Put("k", "first");           // in-txn overlay version 1
+  const Savepoint sp = txn.MakeSavepoint();
+  txn.Put("k", "second");          // overlay version 2
+  txn.Delete("k");                 // overlay version 3
+  EXPECT_FALSE(txn.Get("k").has_value());
+  txn.RollbackTo(sp);
+  // Read-your-writes must see the pre-savepoint overlay, not the committed
+  // value and not the rolled-back delete.
+  EXPECT_EQ(txn.Get("k").value(), "first");
+  txn.Commit();
+  EXPECT_EQ(store.Snapshot().Get("k").value(), "first");
+}
+
+TEST(LocalStoreTest, RollbackOfFirstWriteFallsThroughToCommitted) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("k", "committed");
+    txn.Commit();
+  }
+  RWTxn txn = store.BeginRW();
+  const Savepoint sp = txn.MakeSavepoint();
+  txn.Put("k", "uncommitted");
+  txn.Put("fresh", "uncommitted");
+  txn.RollbackTo(sp);
+  // Keys first written after the savepoint leave no overlay residue.
+  EXPECT_EQ(txn.Get("k").value(), "committed");
+  EXPECT_FALSE(txn.Get("fresh").has_value());
+  txn.Commit();
+  EXPECT_EQ(store.Snapshot().Get("k").value(), "committed");
+  EXPECT_FALSE(store.Snapshot().Get("fresh").has_value());
+}
+
+TEST(LocalStoreTest, InterleavedSavepointsAcrossManyKeys) {
+  // Simulates a group-commit batch: records apply back-to-back in one
+  // transaction, each inside its own savepoint, and some roll back.
+  LocalStore store;
+  RWTxn txn = store.BeginRW();
+  for (int record = 0; record < 20; ++record) {
+    const Savepoint sp = txn.MakeSavepoint();
+    txn.Put("shared", "r" + std::to_string(record));
+    txn.Put("own/" + std::to_string(record), "x");
+    if (record % 3 == 1) {
+      txn.RollbackTo(sp);  // this record's writes vanish
+    }
+  }
+  txn.Commit();
+  ROTxn snap = store.Snapshot();
+  // Last surviving record was 18 (18 % 3 == 0).
+  EXPECT_EQ(snap.Get("shared").value(), "r18");
+  for (int record = 0; record < 20; ++record) {
+    EXPECT_EQ(snap.Get("own/" + std::to_string(record)).has_value(), record % 3 != 1) << record;
+  }
+}
+
+TEST(LocalStoreTest, ScanSeesOverlayAfterRollback) {
+  LocalStore store;
+  {
+    RWTxn txn = store.BeginRW();
+    txn.Put("s/a", "1");
+    txn.Commit();
+  }
+  RWTxn txn = store.BeginRW();
+  txn.Put("s/b", "2");
+  const Savepoint sp = txn.MakeSavepoint();
+  txn.Put("s/c", "3");
+  txn.Delete("s/a");
+  txn.RollbackTo(sp);
+  std::vector<std::string> keys;
+  txn.Scan("s/", "s0", [&](std::string_view key, std::string_view) {
+    keys.emplace_back(key);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"s/a", "s/b"}));
+  txn.Commit();
+}
+
 TEST(LocalStoreTest, SnapshotIsolation) {
   LocalStore store;
   {
