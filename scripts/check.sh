@@ -2,19 +2,21 @@
 # Tier-1 verification: plain build + full test suite, then (optionally) the
 # same suite under a sanitizer.
 #
-#   scripts/check.sh           # RelWithDebInfo build + ctest
-#   scripts/check.sh thread    # additionally build + ctest with TSan
-#   scripts/check.sh address   # additionally build + ctest with ASan
+#   scripts/check.sh                # RelWithDebInfo build + ctest
+#   scripts/check.sh thread         # additionally build + ctest with TSan
+#   scripts/check.sh address        # additionally build + ctest with ASan
+#   scripts/check.sh --sim 500      # simulation suite only (label `sim`),
+#                                   # with the given randomized schedule count
+#
+# The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
+# count (default 200). Sanitizer suites run with a reduced count — each
+# schedule is several times slower under TSan — unless the caller already set
+# one in the environment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-
-SAN="${1:-}"
-if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread' or 'address')" >&2
-  exit 2
-fi
+SANITIZER_SIM_SCHEDULES="${DELOS_SIM_SCHEDULES:-25}"
 
 run_suite() {
   local dir="$1"
@@ -24,12 +26,34 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+if [[ "${1:-}" == "--sim" ]]; then
+  SEED_COUNT="${2:-200}"
+  if ! [[ "$SEED_COUNT" =~ ^[0-9]+$ && "$SEED_COUNT" -gt 0 ]]; then
+    echo "check.sh: --sim expects a positive schedule count, got '${2:-}'" >&2
+    exit 2
+  fi
+  echo "== simulation suite (${SEED_COUNT} randomized schedules) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  DELOS_SIM_SCHEDULES="$SEED_COUNT" \
+    ctest --test-dir build -L sim --output-on-failure -j "$JOBS"
+  echo "check.sh: simulation suite passed"
+  exit 0
+fi
+
+SAN="${1:-}"
+if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', or '--sim N')" >&2
+  exit 2
+fi
+
 echo "== plain build + ctest =="
 run_suite build
 
 if [[ -n "$SAN" ]]; then
   echo "== ${SAN} sanitizer build + ctest =="
-  run_suite "build-${SAN}" "-DDELOS_SANITIZE=${SAN}"
+  DELOS_SIM_SCHEDULES="$SANITIZER_SIM_SCHEDULES" \
+    run_suite "build-${SAN}" "-DDELOS_SANITIZE=${SAN}"
 fi
 
 echo "check.sh: all suites passed"

@@ -350,6 +350,16 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
     }
   }
 
+  // Crash window between commit and publish: the batch (with its cursor) is
+  // durable in the store, but nothing downstream of the commit has happened
+  // yet — no postApply, no applied_pos_ store, no promise settlement. A
+  // restart replays from the committed cursor, so the batch is never applied
+  // twice; its proposers see "engine stopped" (the standard ambiguous
+  // outcome for a crash after commit).
+  if (options_.post_commit_crash_hook != nullptr && options_.post_commit_crash_hook(batch_last)) {
+    return false;
+  }
+
   // postApply runs only when the upcall's apply committed: a layer that
   // threw directly had all its work rolled back, so it gets no postApply.
   // (Layers that converted an upstream failure into an ApplyError gate their

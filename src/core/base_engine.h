@@ -52,6 +52,14 @@ struct BaseEngineOptions {
   MetricsRegistry* metrics = nullptr;
   // Invoked on non-deterministic failure; default aborts the process.
   std::function<void(const std::string&)> fatal_handler;
+  // Simulation hook: invoked after a batch's transaction (including the
+  // cursor update) has committed but before postApply runs, applied_pos_ is
+  // published, or any propose promise settles. Returning true makes the
+  // apply thread exit on the spot — a crash in the commit-to-publish window.
+  // Because the cursor commits atomically with the batch, replay after such
+  // a crash starts at the record after the batch and never re-applies it;
+  // sim_crash_recovery_test pins that invariant down.
+  std::function<bool(LogPos batch_last)> post_commit_crash_hook;
 };
 
 class BaseEngine : public IEngine {

@@ -1,5 +1,9 @@
 #include "src/engines/session_order_engine.h"
 
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/common/random.h"
@@ -44,6 +48,11 @@ uint64_t DecodeSeq(const std::string& bytes) {
   return de.ReadVarint();
 }
 
+// Bound on same-seq re-appends after a sub-stack append failure. The retries
+// exist to plug holes in the session sequence (a seq that never commits
+// blocks every later seq forever); the bound keeps a dead log from looping.
+constexpr int kMaxAppendRetries = 8;
+
 }  // namespace
 
 SessionOrderEngine::SessionOrderEngine(Options options, IEngine* downstream, LocalStore* store)
@@ -70,26 +79,43 @@ Future<std::any> SessionOrderEngine::Propose(LogEntry entry) {
     pending_.emplace(seq, PendingPropose{entry, promise});
   }
   // The sub-stack's return value is ignored: this propose is completed from
-  // postApply when its sequence number applies in order. Only a hard append
-  // failure is relayed.
-  downstream()->Propose(std::move(stamped)).Then([promise, this, seq](Result<std::any> result) {
+  // postApply when its sequence number applies in order. Append failures are
+  // retried with the same sequence number (see ProposeStamped).
+  ProposeStamped(std::move(stamped), seq);
+  return future;
+}
+
+void SessionOrderEngine::ProposeStamped(LogEntry stamped, uint64_t seq) {
+  downstream()->Propose(std::move(stamped)).Then([this, seq](Result<std::any> result) {
     if (result.ok()) {
       return;
     }
+    // The append failed — or *may* have failed (a timeout is ambiguous). The
+    // seq must still commit or every later seq in this session is filtered as
+    // a gap, so retry the same stamped entry. If the first append actually
+    // committed, the retry applies as seq < expected and is filtered.
     std::shared_ptr<Promise<std::any>> to_fail;
+    std::optional<LogEntry> to_retry;
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
       auto it = pending_.find(seq);
-      if (it != pending_.end()) {
+      if (it == pending_.end()) {
+        // Already completed from postApply (the "failed" append committed).
+        return;
+      }
+      if (++it->second.append_retries <= kMaxAppendRetries) {
+        to_retry = it->second.stamped_entry;
+      } else {
         to_fail = it->second.promise;
         pending_.erase(it);
       }
     }
-    if (to_fail != nullptr) {
-      to_fail->SetException(result.error());
+    if (to_retry.has_value()) {
+      ProposeStamped(*std::move(to_retry), seq);
+      return;
     }
+    to_fail->SetException(result.error());
   });
-  return future;
 }
 
 std::any SessionOrderEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
@@ -175,18 +201,18 @@ void SessionOrderEngine::PostApplyData(const LogEntry& entry, LogPos pos) {
 }
 
 void SessionOrderEngine::ReproposeFrom(uint64_t first_seq) {
-  std::vector<LogEntry> to_repropose;
+  std::vector<std::pair<uint64_t, LogEntry>> to_repropose;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     for (const auto& [seq, pending] : pending_) {
       if (seq >= first_seq) {
-        to_repropose.push_back(pending.stamped_entry);
+        to_repropose.emplace_back(seq, pending.stamped_entry);
       }
     }
   }
   LOG_DEBUG << "sessionorder: re-proposing " << to_repropose.size() << " entries after disorder";
-  for (LogEntry& entry : to_repropose) {
-    downstream()->Propose(std::move(entry));
+  for (auto& [seq, entry] : to_repropose) {
+    ProposeStamped(std::move(entry), seq);
   }
 }
 

@@ -52,6 +52,8 @@ class SessionOrderEngine : public StackableEngine {
   struct PendingPropose {
     LogEntry stamped_entry;  // retains the original sequence number
     std::shared_ptr<Promise<std::any>> promise;
+    // Sub-stack append failures survived so far (see ProposeStamped).
+    int append_retries = 0;
   };
 
   enum class Outcome { kNone, kApplied, kDuplicate, kGap };
@@ -68,6 +70,14 @@ class SessionOrderEngine : public StackableEngine {
 
   std::any ApplyDataImpl(RWTxn& txn, const LogEntry& entry, LogPos pos, Carried& carried);
   void ReproposeFrom(uint64_t first_seq);
+  // Proposes a seq-stamped entry into the sub-stack, retrying the SAME
+  // stamped entry (same sequence number) on append failure. Without the
+  // retry, a lost append would leave a permanent hole in the session
+  // sequence: that seq never commits, so every later entry from this
+  // session applies as a gap and is filtered forever. Exactly-once makes
+  // the retry safe — if the failure was ambiguous (the entry actually
+  // committed), the duplicate is filtered on apply.
+  void ProposeStamped(LogEntry stamped, uint64_t seq);
 
   Options options_;
   // The session id: unique per engine incarnation so replayed entries from a

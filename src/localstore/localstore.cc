@@ -218,6 +218,8 @@ void RWTxn::Abort() { Release(); }
 
 // --- LocalStore ---
 
+LocalStore::LocalStore() : LocalStore(Options{}) {}
+
 LocalStore::LocalStore(Options options) : options_(std::move(options)) {}
 
 LocalStore::~LocalStore() = default;
@@ -226,7 +228,25 @@ std::unique_ptr<LocalStore> LocalStore::Open(Options options) {
   auto store = std::make_unique<LocalStore>(std::move(options));
   if (!store->options_.checkpoint_path.empty() &&
       std::filesystem::exists(store->options_.checkpoint_path)) {
-    store->LoadCheckpoint();
+    try {
+      store->LoadCheckpoint();
+    } catch (const StoreError&) {
+      if (!store->options_.tolerate_torn_checkpoint) {
+        throw;
+      }
+      // Torn/corrupt checkpoint: discard everything (including any pairs a
+      // partial load already installed) and start cold; the engine replays
+      // the log from position 1 to rebuild the state.
+      {
+        std::unique_lock<std::shared_mutex> lock(store->data_mu_);
+        store->data_.clear();
+        store->checksum_.Reset();
+      }
+      store->committed_version_.store(0, std::memory_order_release);
+      store->flushed_version_.store(0, std::memory_order_release);
+      std::error_code ec;
+      std::filesystem::remove(store->options_.checkpoint_path, ec);
+    }
   }
   return store;
 }
@@ -376,7 +396,12 @@ ROTxn LocalStore::Flush() {
       throw StoreError("cannot open checkpoint file " + tmp_path);
     }
     const std::string& buffer = ser.buffer();
-    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    size_t write_bytes = buffer.size();
+    const int64_t torn = torn_flush_bytes_.exchange(-1, std::memory_order_acq_rel);
+    if (torn >= 0) {
+      write_bytes = std::min(write_bytes, static_cast<size_t>(torn));
+    }
+    out.write(buffer.data(), static_cast<std::streamsize>(write_bytes));
     if (!out) {
       throw StoreError("short write to checkpoint file " + tmp_path);
     }
@@ -396,6 +421,17 @@ void LocalStore::LoadCheckpoint() {
     throw StoreError("cannot open checkpoint " + options_.checkpoint_path);
   }
   std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  try {
+    LoadCheckpointBytes(bytes);
+  } catch (const SerdeError& e) {
+    // A truncated file (torn flush) fails mid-decode; surface it as the same
+    // corruption class as a checksum mismatch.
+    throw StoreError(std::string("truncated checkpoint ") + options_.checkpoint_path + ": " +
+                     e.what());
+  }
+}
+
+void LocalStore::LoadCheckpointBytes(const std::string& bytes) {
   Deserializer de(bytes);
   if (de.ReadString() != kCheckpointMagic) {
     throw StoreError("bad checkpoint magic in " + options_.checkpoint_path);

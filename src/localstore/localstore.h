@@ -156,9 +156,21 @@ class LocalStore {
     // When non-empty, Flush() writes a checkpoint file here and Open() will
     // recover from it.
     std::string checkpoint_path;
+    // When true, a corrupt checkpoint (bad magic, truncation, checksum
+    // mismatch — e.g. a flush torn by a crash) is discarded on Open() and the
+    // store starts cold; the engine stack then rebuilds it by full log
+    // replay. Default false: corruption is surfaced as StoreError, because a
+    // store that silently drops state it was asked to persist is only safe
+    // when the log retains the entire prefix (the simulation harness
+    // guarantees that; production configs must opt in deliberately).
+    bool tolerate_torn_checkpoint = false;
   };
 
-  explicit LocalStore(Options options = Options{});
+  // In-memory store with default options. (Defined out of line: a nested
+  // class's default member initializers are not usable in the enclosing
+  // class's default arguments.)
+  LocalStore();
+  explicit LocalStore(Options options);
   ~LocalStore();
 
   LocalStore(const LocalStore&) = delete;
@@ -194,6 +206,15 @@ class LocalStore {
   // failure; the engine stack must crash the server).
   void InjectCommitFault() { fault_injected_.store(true, std::memory_order_release); }
 
+  // Injection hook (simulation): the next Flush() writes only the first
+  // `keep_bytes` bytes of the checkpoint — a torn write, as left behind by a
+  // crash mid-flush. The flush still reports success (the crash that tears
+  // the file also takes the process down before anyone reads the result);
+  // the damage surfaces at the next Open().
+  void InjectTornFlush(size_t keep_bytes) {
+    torn_flush_bytes_.store(static_cast<int64_t>(keep_bytes), std::memory_order_release);
+  }
+
  private:
   friend class ROTxn;
   friend class RWTxn;
@@ -213,6 +234,7 @@ class LocalStore {
   static std::optional<std::string> ValueAt(const Chain& chain, uint64_t version);
   void CompactChainLocked(const std::string& key, Chain& chain, uint64_t min_active);
   void LoadCheckpoint();
+  void LoadCheckpointBytes(const std::string& bytes);
 
   Options options_;
   mutable std::shared_mutex data_mu_;
@@ -223,6 +245,7 @@ class LocalStore {
   std::atomic<uint64_t> flushed_version_{0};
   std::atomic<bool> writer_active_{false};
   std::atomic<bool> fault_injected_{false};
+  std::atomic<int64_t> torn_flush_bytes_{-1};  // -1 = no torn flush armed
 
   mutable std::mutex snapshots_mu_;
   std::multiset<uint64_t> active_snapshots_;

@@ -72,6 +72,11 @@ void SimNetwork::SetDropProbability(double p) {
   config_.drop_probability = p;
 }
 
+void SimNetwork::SetFaultHook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(hook);
+}
+
 void SimNetwork::SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned) {
   std::lock_guard<std::mutex> lock(mu_);
   if (partitioned) {
@@ -117,7 +122,7 @@ Future<std::string> SimNetwork::Call(const NodeId& from, const NodeId& to,
   Future<std::string> future = call->promise.GetFuture();
 
   std::lock_guard<std::mutex> lock(mu_);
-  ++message_count_;
+  const uint64_t request_index = ++message_count_;
 
   // Timeout covers drops, partitions, and down nodes uniformly.
   ScheduleLocked(config_.call_timeout_micros, [call, to, method] {
@@ -130,6 +135,9 @@ Future<std::string> SimNetwork::Call(const NodeId& from, const NodeId& to,
 
   if (!LinkOpenLocked(from, to)) {
     return future;  // Dropped on the request path; the timeout will fire.
+  }
+  if (fault_hook_ != nullptr && fault_hook_(from, to, method, request_index)) {
+    return future;  // Injected drop; the timeout will fire.
   }
 
   const int64_t request_latency = LatencyLocked(from, to);
@@ -146,11 +154,14 @@ Future<std::string> SimNetwork::Call(const NodeId& from, const NodeId& to,
       }
       handler = it->second;
     }
-    ReplyFn reply_fn = [this, call, from, to](std::string reply) {
+    ReplyFn reply_fn = [this, call, from, to, method](std::string reply) {
       std::lock_guard<std::mutex> lock(mu_);
-      ++message_count_;
+      const uint64_t reply_index = ++message_count_;
       if (!LinkOpenLocked(to, from)) {
         return;  // Reply dropped; the timeout will fire.
+      }
+      if (fault_hook_ != nullptr && fault_hook_(to, from, method, reply_index)) {
+        return;  // Injected drop; the timeout will fire.
       }
       const int64_t reply_latency = LatencyLocked(to, from);
       ScheduleLocked(reply_latency, [call, reply = std::move(reply)]() mutable {

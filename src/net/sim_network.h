@@ -77,6 +77,16 @@ class SimNetwork {
   // Blocks traffic between a and b in both directions.
   void SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned);
 
+  // Deterministic injection hook for the simulation harness: consulted for
+  // every message (request and reply legs) with a monotonically increasing
+  // message index; return true to drop that message. Unlike
+  // SetDropProbability, a hook keyed to the index reproduces the same drops
+  // on every run of a schedule. The hook runs under the network lock and
+  // must not call back into the network.
+  using FaultHook = std::function<bool(const NodeId& from, const NodeId& to,
+                                       const std::string& method, uint64_t message_index)>;
+  void SetFaultHook(FaultHook hook);
+
   // Issues an RPC. The future is fulfilled with the handler's reply, or with
   // LogUnavailableError if the call times out (drop, partition, down node).
   Future<std::string> Call(const NodeId& from, const NodeId& to, const std::string& method,
@@ -113,6 +123,7 @@ class SimNetwork {
   std::set<NodeId> down_nodes_;
   std::map<std::pair<NodeId, NodeId>, int64_t> link_latency_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
+  FaultHook fault_hook_;
   Rng rng_;
   uint64_t next_sequence_ = 0;
   uint64_t message_count_ = 0;

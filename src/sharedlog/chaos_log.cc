@@ -205,4 +205,136 @@ uint64_t ReorderingLog::swaps_performed() const {
   return swaps_;
 }
 
+// --- FaultyLog ---
+
+namespace {
+
+void CompleteAppend(const std::shared_ptr<Promise<LogPos>>& promise, Result<LogPos> result) {
+  if (result.ok()) {
+    promise->SetValue(std::move(result).value());
+  } else {
+    promise->SetException(result.error());
+  }
+}
+
+}  // namespace
+
+FaultyLog::FaultyLog(std::shared_ptr<ISharedLog> inner, Faults faults,
+                     std::shared_ptr<std::atomic<uint64_t>> append_counter,
+                     int64_t reorder_hold_timeout_micros)
+    : inner_(std::move(inner)),
+      faults_(std::move(faults)),
+      append_counter_(std::move(append_counter)),
+      reorder_hold_timeout_micros_(reorder_hold_timeout_micros) {
+  if (append_counter_ == nullptr) {
+    append_counter_ = std::make_shared<std::atomic<uint64_t>>(0);
+  }
+}
+
+// Issues an append to the inner log, first flushing a held (reordered) entry
+// behind it so the swap actually happens.
+Future<LogPos> FaultyLog::AppendInner(std::string payload) {
+  std::optional<Held> held;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (held_.has_value()) {
+      held = std::move(held_);
+      held_.reset();
+    }
+  }
+  Future<LogPos> first = inner_->Append(std::move(payload));
+  if (held.has_value()) {
+    inner_->Append(std::move(held->payload))
+        .Then([promise = held->promise](Result<LogPos> result) {
+          CompleteAppend(promise, std::move(result));
+        });
+  }
+  return first;
+}
+
+Future<LogPos> FaultyLog::Append(std::string payload) {
+  const uint64_t index = append_counter_->fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  if (faults_.dropped_appends.count(index) != 0) {
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    return MakeErrorFuture<LogPos>(std::make_exception_ptr(
+        LogUnavailableError("injected partition: append " + std::to_string(index) + " dropped")));
+  }
+
+  if (faults_.reordered_appends.count(index) != 0) {
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    auto promise = std::make_shared<Promise<LogPos>>();
+    uint64_t ticket;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A second reorder while one entry is already held would stack; issue
+      // the previous one first (it loses its swap partner).
+      if (held_.has_value()) {
+        Held prior = std::move(*held_);
+        held_.reset();
+        inner_->Append(std::move(prior.payload))
+            .Then([p = prior.promise](Result<LogPos> result) {
+              CompleteAppend(p, std::move(result));
+            });
+      }
+      ticket = next_ticket_++;
+      held_ = Held{std::move(payload), promise, ticket};
+    }
+    // Safety valve: release unswapped if no append follows.
+    scheduler_.Schedule(reorder_hold_timeout_micros_, [this, ticket] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (held_.has_value() && held_->ticket == ticket) {
+        Held held = std::move(*held_);
+        held_.reset();
+        lock.unlock();
+        inner_->Append(std::move(held.payload))
+            .Then([promise = held.promise](Result<LogPos> result) {
+              CompleteAppend(promise, std::move(result));
+            });
+      }
+    });
+    return promise->GetFuture();
+  }
+
+  if (faults_.duplicated_appends.count(index) != 0) {
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    std::string copy = payload;
+    Future<LogPos> first = AppendInner(std::move(payload));
+    inner_->Append(std::move(copy)).Then([](Result<LogPos>) {});
+    return first;
+  }
+
+  if (faults_.timeout_appends.count(index) != 0) {
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    // The entry commits; only the acknowledgment is lost.
+    auto promise = std::make_shared<Promise<LogPos>>();
+    AppendInner(std::move(payload)).Then([promise, index](Result<LogPos>) {
+      promise->SetException(std::make_exception_ptr(LogUnavailableError(
+          "injected timeout: append " + std::to_string(index) + " unacknowledged")));
+    });
+    return promise->GetFuture();
+  }
+
+  return AppendInner(std::move(payload));
+}
+
+Future<LogPos> FaultyLog::CheckTail() { return inner_->CheckTail(); }
+
+std::vector<LogRecord> FaultyLog::ReadRange(LogPos lo, LogPos hi) {
+  const LogPos crash = faults_.crash_at_pos;
+  if (crash != 0 && lo >= crash) {
+    crashed_.store(true, std::memory_order_release);
+    throw LogUnavailableError("injected crash: replay refused at position " +
+                              std::to_string(crash));
+  }
+  if (crash != 0 && hi >= crash) {
+    hi = crash - 1;  // Serve the partial prefix; the next read wedges.
+  }
+  return inner_->ReadRange(lo, hi);
+}
+
+void FaultyLog::Trim(LogPos prefix) { inner_->Trim(prefix); }
+LogPos FaultyLog::trim_prefix() const { return inner_->trim_prefix(); }
+void FaultyLog::Seal() { inner_->Seal(); }
+
 }  // namespace delos

@@ -8,11 +8,18 @@
 //    implementation, or due to code changes in the Delos stack" (§4.3); this
 //    wrapper manufactures those rare events so the SessionOrderEngine's
 //    filtering and re-propose paths can be exercised deterministically.
+//  * FaultyLog injects faults at scripted points: everything is keyed to
+//    deterministic counters (the n-th append through this server's log, an
+//    absolute log position on replay) rather than probabilities, so a
+//    simulation schedule derived from a seed reproduces the same injections
+//    on every run. This is the log-side actuator of the src/sim harness.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 
 #include "src/common/blocking_queue.h"
@@ -125,6 +132,77 @@ class ReorderingLog : public ISharedLog {
   std::optional<Held> held_;
   uint64_t next_ticket_ = 1;
   uint64_t swaps_ = 0;
+  TimerScheduler scheduler_;
+};
+
+// Deterministic fault injection for the simulation harness. Every fault is
+// keyed to a counter, never to a coin flip:
+//
+//  * Append faults trigger on the 1-based cumulative append index. The
+//    counter can be shared across FaultyLog incarnations (a restarted server
+//    gets a fresh decorator over the same underlying log), so an index fires
+//    at most once per run regardless of crashes in between.
+//      - timeout: the entry commits, but the caller's future fails with
+//        LogUnavailableError — the classic ambiguous append timeout. Callers
+//        must retry idempotently.
+//      - dropped: the entry never reaches the log and the future fails
+//        (models a partitioned node whose appends cannot reach a quorum).
+//      - duplicated: the payload is appended twice; the future completes
+//        with the first position.
+//      - reordered: the entry is held back and issued after the following
+//        append (released unswapped after a timeout if none follows).
+//  * crash_at_pos wedges replay: ReadRange refuses to serve any position
+//    >= the threshold (partial ranges below it are served), throws
+//    LogUnavailableError, and latches crashed(). The engine's apply loop
+//    treats that as a transient outage and retries forever; the simulation
+//    driver observes crashed() and performs the kill + restart. Because the
+//    trigger is an absolute log position, where a run crashes does not
+//    depend on thread timing.
+class FaultyLog : public ISharedLog {
+ public:
+  struct Faults {
+    std::set<uint64_t> timeout_appends;
+    std::set<uint64_t> dropped_appends;
+    std::set<uint64_t> duplicated_appends;
+    std::set<uint64_t> reordered_appends;
+    LogPos crash_at_pos = 0;  // 0 = disabled
+  };
+
+  // `append_counter` may be shared across incarnations; when null a private
+  // counter starting at zero is used.
+  FaultyLog(std::shared_ptr<ISharedLog> inner, Faults faults,
+            std::shared_ptr<std::atomic<uint64_t>> append_counter = nullptr,
+            int64_t reorder_hold_timeout_micros = 2000);
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t appends_seen() const { return append_counter_->load(std::memory_order_acquire); }
+  uint64_t faults_fired() const { return faults_fired_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Held {
+    std::string payload;
+    std::shared_ptr<Promise<LogPos>> promise;
+    uint64_t ticket;
+  };
+
+  Future<LogPos> AppendInner(std::string payload);
+
+  std::shared_ptr<ISharedLog> inner_;
+  Faults faults_;
+  std::shared_ptr<std::atomic<uint64_t>> append_counter_;
+  int64_t reorder_hold_timeout_micros_;
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> faults_fired_{0};
+  mutable std::mutex mu_;
+  std::optional<Held> held_;
+  uint64_t next_ticket_ = 1;
   TimerScheduler scheduler_;
 };
 

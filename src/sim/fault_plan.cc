@@ -1,0 +1,131 @@
+#include "src/sim/fault_plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/common/serde.h"
+
+namespace delos::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAppendTimeout:
+      return "append-timeout";
+    case FaultKind::kDroppedAppend:
+      return "dropped-append";
+    case FaultKind::kDuplicateAppend:
+      return "duplicate-append";
+    case FaultKind::kReorderAppend:
+      return "reorder-append";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kSabotage:
+      return "sabotage";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanOptions& options) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed);
+
+  const int num_servers = std::max(1, options.num_servers);
+  const int num_ops = std::max(4, options.num_ops);
+
+  // Crashes: absolute log positions, strictly increasing per server so a
+  // later crash always lies ahead of the cursor the previous restart
+  // recovered to. Positions stay within [2, num_ops]: the workload retries
+  // every op until it commits, so the log is guaranteed to grow past
+  // num_ops and every crash position is guaranteed to be replayed through.
+  const int num_crashes = static_cast<int>(rng.Uniform(1, std::max(1, options.max_crashes)));
+  std::vector<std::set<uint64_t>> crash_positions(num_servers);
+  for (int i = 0; i < num_crashes; ++i) {
+    const auto server = static_cast<uint32_t>(rng.Uniform(0, num_servers - 1));
+    const auto pos = static_cast<uint64_t>(rng.Uniform(2, num_ops));
+    crash_positions[server].insert(pos);
+  }
+  for (uint32_t server = 0; server < static_cast<uint32_t>(num_servers); ++server) {
+    for (uint64_t pos : crash_positions[server]) {  // std::set: ascending
+      uint64_t param = 0;
+      if (options.allow_torn_flush && rng.Bernoulli(0.5)) {
+        // 1 + bytes kept: enough to keep the magic (forcing a mid-decode
+        // failure) but rarely the whole file.
+        param = 1 + static_cast<uint64_t>(rng.Uniform(0, 64));
+      }
+      plan.events.push_back(FaultEvent{FaultKind::kCrash, server, pos, param});
+    }
+  }
+
+  // Append faults: cumulative append indices per server. The workload routes
+  // op i to server i % num_servers, so each server sees roughly
+  // num_ops / num_servers appends plus retries; indices are drawn from that
+  // range (an index never reached simply does not fire — harmless).
+  const int appends_per_server = std::max(2, num_ops / num_servers);
+  const int num_append_faults =
+      static_cast<int>(rng.Uniform(0, std::max(0, options.max_append_faults)));
+  std::vector<std::set<uint64_t>> used_indices(num_servers);
+  for (int i = 0; i < num_append_faults; ++i) {
+    const auto server = static_cast<uint32_t>(rng.Uniform(0, num_servers - 1));
+    const auto index = static_cast<uint64_t>(rng.Uniform(1, appends_per_server));
+    if (!used_indices[server].insert(index).second) {
+      continue;  // At most one fault per (server, append index).
+    }
+    const auto kind = static_cast<FaultKind>(rng.Uniform(0, 3));
+    plan.events.push_back(FaultEvent{kind, server, index, 0});
+  }
+
+  return plan;
+}
+
+std::string FaultPlan::Serialize() const {
+  Serializer ser;
+  ser.WriteFixed64(seed);
+  ser.WriteVarint(events.size());
+  for (const FaultEvent& event : events) {
+    ser.WriteVarint(static_cast<uint64_t>(event.kind));
+    ser.WriteVarint(event.server);
+    ser.WriteVarint(event.trigger);
+    ser.WriteVarint(event.param);
+  }
+  return ser.Release();
+}
+
+FaultPlan FaultPlan::Parse(std::string_view bytes) {
+  Deserializer de(bytes);
+  FaultPlan plan;
+  plan.seed = de.ReadFixed64();
+  const uint64_t count = de.ReadVarint();
+  plan.events.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FaultEvent event;
+    event.kind = static_cast<FaultKind>(de.ReadVarint());
+    event.server = static_cast<uint32_t>(de.ReadVarint());
+    event.trigger = de.ReadVarint();
+    event.param = de.ReadVarint();
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+std::string FaultPlan::Describe() const {
+  std::string out = "FaultPlan seed=" + std::to_string(seed) + " events=" +
+                    std::to_string(events.size()) + "\n";
+  for (const FaultEvent& event : events) {
+    out += "  " + std::string(FaultKindName(event.kind)) + " server=" +
+           std::to_string(event.server);
+    if (event.kind == FaultKind::kCrash) {
+      out += " at-log-pos=" + std::to_string(event.trigger);
+      if (event.param != 0) {
+        out += " torn-flush-keep-bytes=" + std::to_string(event.param - 1);
+      }
+    } else if (event.kind != FaultKind::kSabotage) {
+      out += " at-append-index=" + std::to_string(event.trigger);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace delos::sim

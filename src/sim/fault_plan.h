@@ -1,0 +1,82 @@
+// FaultPlan: the deterministic schedule of faults a simulation run injects.
+//
+// A plan is a list of events, each keyed to a counter rather than a clock or
+// a coin flip:
+//  * append faults (timeout / drop / duplicate / reorder) trigger on the
+//    n-th append issued through the victim server's log, counted
+//    cumulatively across crashes of that server;
+//  * crashes trigger when the victim's replay reaches an absolute log
+//    position — the FaultyLog wedges there and the SimCluster driver
+//    performs the kill (losing unflushed LocalStore state) and the restart
+//    (checkpoint + log replay);
+//  * a torn-flush flag on a crash additionally truncates the victim's
+//    checkpoint file, exercising tolerant checkpoint recovery.
+//
+// FaultPlan::Random(seed, options) is a pure function of its arguments and
+// Serialize() is byte-stable, so a failing schedule is fully identified by
+// its seed: re-running the seed regenerates the identical plan (sim_repro_test
+// holds this down). kSabotage exists for exactly that test — it deliberately
+// diverges one replica after recovery so the checksum diff must fire, proving
+// a failing seed reports the same failure on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace delos::sim {
+
+enum class FaultKind : uint8_t {
+  kAppendTimeout = 0,   // entry commits, ack lost (ambiguous timeout)
+  kDroppedAppend = 1,   // entry lost before the log (partitioned node)
+  kDuplicateAppend = 2, // entry committed twice
+  kReorderAppend = 3,   // entry swapped with the following append
+  kCrash = 4,           // kill mid-replay at an absolute log position
+  kSabotage = 5,        // test-only: corrupt one key after recovery
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kAppendTimeout;
+  uint32_t server = 0;
+  // Append faults: 1-based cumulative append index on the victim's log.
+  // kCrash: absolute log position at which replay wedges.
+  // kSabotage: unused.
+  uint64_t trigger = 0;
+  // kCrash: 0 = clean crash; otherwise 1 + the number of checkpoint bytes
+  // the torn flush leaves behind.
+  uint64_t param = 0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlanOptions {
+  int num_servers = 3;
+  // Number of application ops the workload will issue (bounds the range of
+  // meaningful trigger counters).
+  int num_ops = 40;
+  int max_crashes = 2;
+  int max_append_faults = 6;
+  bool allow_torn_flush = true;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  // Deterministic: the same (seed, options) always yields the same plan.
+  static FaultPlan Random(uint64_t seed, const FaultPlanOptions& options);
+
+  // Byte-stable serialization (the repro contract) and its inverse.
+  std::string Serialize() const;
+  static FaultPlan Parse(std::string_view bytes);
+
+  // Human-readable, one event per line; printed when a schedule fails.
+  std::string Describe() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace delos::sim

@@ -1,0 +1,100 @@
+// SimCluster: the deterministic crash-recovery simulation driver.
+//
+// One run = one fault schedule against a multi-server Delos stack over a
+// shared in-memory log, each server's view of the log wrapped in a FaultyLog
+// carrying its slice of the plan. The driver:
+//
+//  1. issues a deterministic application workload (DelosTable upserts or
+//     Zelos znode writes, routed round-robin), retrying idempotently through
+//     injected append timeouts, drops, duplicates, and reorders;
+//  2. watches for wedged replays (FaultyLog::crashed()) and performs each
+//     kill: Stop + destroy the server (volatile state and LocalStore gone),
+//     optionally tear the checkpoint file, then rebuild the server from
+//     checkpoint + log replay;
+//  3. after the workload quiesces, syncs every server to the final log tail
+//     (restarting any server that crashes during its own final replay);
+//  4. replays the *same final log bytes* through a fresh fault-free stack —
+//     the reference run — and diffs every recovered server against it:
+//     identical LocalStore checksum, identical key count, applied cursor at
+//     the tail.
+//
+// The reference is a replay of the same log rather than a separate fault-free
+// workload execution because faults legitimately change log *content*
+// (duplicated entries, retried proposals); what must be invariant is that
+// every replica is the same pure function of whatever log the run produced
+// (paper §3.4, §6). Reports carry only schedule-determined text so a failing
+// seed prints the same failure on every run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/fault_plan.h"
+
+namespace delos::sim {
+
+enum class StackShape {
+  kDelosTable,  // Base | LogBackup | BrainDoctor | ViewTracking + DelosTable
+  kZelos,       // ... | SessionOrder | Batching + Zelos
+  kFullNine,    // all nine engine types (incl. Time, Lease, Observer,
+                // Compression) + DelosTable
+};
+
+const char* StackShapeName(StackShape shape);
+
+struct SimOptions {
+  StackShape shape = StackShape::kFullNine;
+  int num_servers = 3;
+  int num_ops = 40;
+  // Checkpoint files live here; each run creates a unique subdirectory.
+  std::string scratch_dir;
+  // How long one workload op may stay unresolved before the run is declared
+  // stuck (generous: a crash + restart + replay must fit comfortably).
+  int64_t op_timeout_micros = 10'000'000;
+  FaultPlanOptions plan;  // used by RunSeed
+};
+
+struct RunReport {
+  uint64_t seed = 0;
+  std::string plan_bytes;  // FaultPlan::Serialize() of the executed plan
+  std::string plan_text;   // FaultPlan::Describe()
+  uint64_t final_tail = 0;
+  uint64_t reference_checksum = 0;
+  uint64_t reference_key_count = 0;
+  std::vector<uint64_t> server_checksums;
+  uint64_t crashes_fired = 0;
+  uint64_t append_faults_fired = 0;
+  // Empty = every invariant held. Strings are schedule-determined (no
+  // timestamps, no absolute checksums) so a failing seed reproduces the
+  // identical report.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimOptions options);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  // Executes one schedule. The cluster tears all servers down at the end;
+  // Run may be called again with a fresh plan.
+  RunReport Run(const FaultPlan& plan);
+
+  // Convenience: FaultPlan::Random(seed, options.plan) + Run.
+  static RunReport RunSeed(uint64_t seed, const SimOptions& options);
+
+ private:
+  struct Rig;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace delos::sim

@@ -411,5 +411,82 @@ TEST(RngTest, StringLength) {
   EXPECT_EQ(rng.String(16).size(), 16u);
 }
 
+// --- log entry decode fuzz ---
+
+// Seeded mutation fuzz over the zero-copy entry decoder: start from valid
+// serialized entries, flip/truncate/extend bytes, and require that Parse
+// either succeeds (in which case Materialize and header lookups must be
+// safe) or throws SerdeError — never anything else, never a crash or an
+// unbounded allocation. The apply pipeline feeds raw log bytes straight into
+// this decoder, so on a torn or corrupted log record this is the line
+// between a DeterministicError the engine can handle and undefined behavior.
+TEST(LogEntryFuzzTest, MutatedEntriesEitherParseOrThrowSerdeError) {
+  Rng rng(20260806);
+
+  // A corpus of valid encodings of varying shape.
+  std::vector<std::string> corpus;
+  {
+    LogEntry plain;
+    plain.payload = "hello world, this is a payload";
+    corpus.push_back(plain.Serialize());
+
+    LogEntry with_headers;
+    with_headers.payload = rng.String(200);
+    with_headers.SetHeader("base", EngineHeader{kMsgTypeApp, rng.String(24)});
+    with_headers.SetHeader("batching", EngineHeader{3, rng.String(64)});
+    with_headers.SetHeader("sessionorder", EngineHeader{1, ""});
+    corpus.push_back(with_headers.Serialize());
+
+    LogEntry empty;
+    corpus.push_back(empty.Serialize());
+  }
+
+  int parsed = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string bytes = corpus[static_cast<size_t>(rng.Uniform(0, corpus.size() - 1))];
+    const int mutations = static_cast<int>(rng.Uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.Uniform(0, 3)) {
+        case 0:  // flip a byte
+          if (!bytes.empty()) {
+            const auto at = static_cast<size_t>(rng.Uniform(0, bytes.size() - 1));
+            bytes[at] = static_cast<char>(rng.Uniform(0, 255));
+          }
+          break;
+        case 1:  // truncate
+          bytes.resize(static_cast<size_t>(rng.Uniform(0, bytes.size())));
+          break;
+        case 2:  // splice random garbage into the middle
+          bytes.insert(static_cast<size_t>(rng.Uniform(0, bytes.size())),
+                       rng.String(static_cast<size_t>(rng.Uniform(1, 8))));
+          break;
+        default:  // append trailing garbage
+          bytes += rng.String(static_cast<size_t>(rng.Uniform(1, 16)));
+          break;
+      }
+    }
+
+    try {
+      const LogEntryView view = LogEntryView::Parse(bytes);
+      // A successful parse must yield a fully usable view.
+      const LogEntry owned = view.Materialize();
+      EXPECT_EQ(owned.payload, view.payload);
+      EXPECT_EQ(owned.headers.size(), view.headers.size());
+      for (const auto& [name, blob] : view.headers) {
+        EXPECT_TRUE(view.HasHeader(name));
+        (void)blob;
+      }
+      ++parsed;
+    } catch (const SerdeError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  // The corpus mutation mix lands on both sides; if either count collapses
+  // to ~zero the fuzz stopped exercising anything.
+  EXPECT_GT(parsed, 25);
+  EXPECT_GT(rejected, 100);
+}
+
 }  // namespace
 }  // namespace delos

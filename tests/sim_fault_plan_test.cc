@@ -1,0 +1,294 @@
+// Unit tests for the fault-injection substrate: FaultPlan generation and
+// serialization, FaultyLog's scripted append/crash faults, the SimNetwork
+// deterministic fault hook, and LocalStore torn-flush recovery.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+
+#include "src/localstore/localstore.h"
+#include "src/net/sim_network.h"
+#include "src/sharedlog/chaos_log.h"
+#include "src/sharedlog/inmemory_log.h"
+#include "src/sim/fault_plan.h"
+
+namespace delos {
+namespace {
+
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::FaultPlanOptions;
+
+// --- FaultPlan ---
+
+TEST(FaultPlanTest, RandomIsAPureFunctionOfSeedAndOptions) {
+  FaultPlanOptions options;
+  const FaultPlan a = FaultPlan::Random(42, options);
+  const FaultPlan b = FaultPlan::Random(42, options);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_FALSE(a.events.empty());  // max_crashes >= 1 guarantees one crash
+
+  const FaultPlan c = FaultPlan::Random(43, options);
+  EXPECT_NE(a.Serialize(), c.Serialize());
+}
+
+TEST(FaultPlanTest, SerializeRoundTrip) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const FaultPlan plan = FaultPlan::Random(seed, FaultPlanOptions{});
+    EXPECT_EQ(FaultPlan::Parse(plan.Serialize()), plan) << "seed " << seed;
+  }
+
+  FaultPlan hand;
+  hand.seed = 7;
+  hand.events = {
+      {FaultKind::kAppendTimeout, 0, 3, 0}, {FaultKind::kDroppedAppend, 1, 1, 0},
+      {FaultKind::kDuplicateAppend, 2, 9, 0}, {FaultKind::kReorderAppend, 0, 4, 0},
+      {FaultKind::kCrash, 1, 17, 9},          {FaultKind::kSabotage, 2, 0, 0},
+  };
+  EXPECT_EQ(FaultPlan::Parse(hand.Serialize()), hand);
+  // Describe names every event (the text printed for a failing seed).
+  const std::string text = hand.Describe();
+  EXPECT_NE(text.find("append-timeout"), std::string::npos);
+  EXPECT_NE(text.find("crash"), std::string::npos);
+  EXPECT_NE(text.find("torn-flush-keep-bytes=8"), std::string::npos);
+}
+
+TEST(FaultPlanTest, CrashPositionsStrictlyIncreasePerServer) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    FaultPlanOptions options;
+    options.max_crashes = 4;
+    const FaultPlan plan = FaultPlan::Random(seed, options);
+    std::map<uint32_t, uint64_t> last;
+    for (const FaultEvent& event : plan.events) {
+      if (event.kind != FaultKind::kCrash) {
+        continue;
+      }
+      auto it = last.find(event.server);
+      if (it != last.end()) {
+        EXPECT_GT(event.trigger, it->second) << "seed " << seed;
+      }
+      last[event.server] = event.trigger;
+    }
+  }
+}
+
+// --- FaultyLog ---
+
+TEST(FaultyLogTest, TimeoutCommitsButFailsTheAck) {
+  auto inner = std::make_shared<InMemoryLog>();
+  FaultyLog::Faults faults;
+  faults.timeout_appends = {2};
+  FaultyLog log(inner, faults);
+
+  EXPECT_EQ(log.Append("a").Get(), 1u);
+  auto ambiguous = log.Append("b");
+  EXPECT_THROW(ambiguous.Get(), LogUnavailableError);
+  // The entry is in the log regardless — the ambiguity clients must retry
+  // through.
+  const auto records = inner->ReadRange(1, 2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].payload, "b");
+  EXPECT_EQ(log.faults_fired(), 1u);
+}
+
+TEST(FaultyLogTest, DropLosesTheEntry) {
+  auto inner = std::make_shared<InMemoryLog>();
+  FaultyLog::Faults faults;
+  faults.dropped_appends = {1};
+  FaultyLog log(inner, faults);
+
+  EXPECT_THROW(log.Append("lost").Get(), LogUnavailableError);
+  EXPECT_EQ(inner->CheckTail().Get(), 1u);  // nothing committed
+  EXPECT_EQ(log.Append("kept").Get(), 1u);
+}
+
+TEST(FaultyLogTest, DuplicateCommitsTwice) {
+  auto inner = std::make_shared<InMemoryLog>();
+  FaultyLog::Faults faults;
+  faults.duplicated_appends = {1};
+  FaultyLog log(inner, faults);
+
+  EXPECT_EQ(log.Append("twin").Get(), 1u);
+  const auto records = inner->ReadRange(1, 2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "twin");
+  EXPECT_EQ(records[1].payload, "twin");
+}
+
+TEST(FaultyLogTest, ReorderSwapsWithTheNextAppend) {
+  auto inner = std::make_shared<InMemoryLog>();
+  FaultyLog::Faults faults;
+  faults.reordered_appends = {1};
+  FaultyLog log(inner, faults);
+
+  auto held = log.Append("first");
+  auto second = log.Append("second");
+  EXPECT_EQ(second.Get(), 1u);
+  EXPECT_EQ(held.Get(), 2u);
+  const auto records = inner->ReadRange(1, 2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "second");
+  EXPECT_EQ(records[1].payload, "first");
+}
+
+TEST(FaultyLogTest, ReorderHoldReleasesOnTimeoutWhenNothingFollows) {
+  auto inner = std::make_shared<InMemoryLog>();
+  FaultyLog::Faults faults;
+  faults.reordered_appends = {1};
+  FaultyLog log(inner, faults, nullptr, /*reorder_hold_timeout_micros=*/1000);
+
+  EXPECT_EQ(log.Append("only").Get(), 1u);  // Get blocks until the timer fires
+  EXPECT_EQ(inner->ReadRange(1, 1)[0].payload, "only");
+}
+
+TEST(FaultyLogTest, CrashWedgesReplayAtThePosition) {
+  auto inner = std::make_shared<InMemoryLog>();
+  FaultyLog::Faults faults;
+  faults.crash_at_pos = 2;
+  FaultyLog log(inner, faults);
+  for (const char* payload : {"a", "b", "c"}) {
+    log.Append(payload).Get();
+  }
+
+  // A range below the wedge is clamped to the prefix.
+  EXPECT_FALSE(log.crashed());
+  const auto prefix = log.ReadRange(1, 3);
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0].payload, "a");
+  // Reaching the position latches the crash.
+  EXPECT_THROW(log.ReadRange(2, 3), LogUnavailableError);
+  EXPECT_TRUE(log.crashed());
+  // It stays wedged: this incarnation is dead until the driver rebuilds it.
+  EXPECT_THROW(log.ReadRange(2, 3), LogUnavailableError);
+}
+
+TEST(FaultyLogTest, AppendCounterSurvivesIncarnations) {
+  auto inner = std::make_shared<InMemoryLog>();
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  FaultyLog::Faults faults;
+  faults.dropped_appends = {3};
+
+  auto first = std::make_unique<FaultyLog>(inner, faults, counter);
+  first->Append("one").Get();
+  first->Append("two").Get();
+  first.reset();  // the server crashed; the counter lives on
+
+  FaultyLog second(inner, faults, counter);
+  EXPECT_THROW(second.Append("three").Get(), LogUnavailableError);
+  EXPECT_EQ(second.appends_seen(), 3u);
+  EXPECT_EQ(second.Append("four").Get(), 3u);
+}
+
+// --- SimNetwork fault hook ---
+
+TEST(SimNetworkFaultHookTest, HookDropsByMessageIndex) {
+  NetworkConfig config;
+  config.default_one_way_latency_micros = 0;
+  config.call_timeout_micros = 20'000;
+  SimNetwork net(config);
+  net.RegisterHandler("b", [](const NodeId&, const std::string&, const std::string& request) {
+    return "ack:" + request;
+  });
+
+  std::vector<uint64_t> seen;
+  net.SetFaultHook([&seen](const NodeId&, const NodeId&, const std::string&,
+                           uint64_t message_index) {
+    seen.push_back(message_index);
+    return message_index == 1;  // drop the first request leg
+  });
+
+  auto dropped = net.Call("a", "b", "ping", "x");
+  EXPECT_THROW(dropped.Get(), LogUnavailableError);
+
+  auto ok = net.Call("a", "b", "ping", "y");
+  EXPECT_EQ(ok.Get(), "ack:y");
+  // The hook saw the dropped request, then the second call's request and
+  // reply legs, each with a distinct increasing index.
+  ASSERT_GE(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 1u);
+  EXPECT_LT(seen[1], seen[2]);
+}
+
+// --- LocalStore torn flush + tolerant recovery ---
+
+class TornFlushTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "delos_torn_flush_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "store.ckpt").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(TornFlushTest, TornCheckpointRejectedByDefault) {
+  {
+    auto store = LocalStore::Open({path_});
+    auto txn = store->BeginRW();
+    txn.Put("k1", "v1");
+    txn.Put("k2", "v2");
+    txn.Commit();
+    store->InjectTornFlush(10);
+    store->Flush();
+  }
+  EXPECT_THROW(LocalStore::Open({path_}), StoreError);
+}
+
+TEST_F(TornFlushTest, TolerantOpenDiscardsTheTornCheckpoint) {
+  {
+    auto store = LocalStore::Open({path_});
+    auto txn = store->BeginRW();
+    txn.Put("k1", "v1");
+    txn.Commit();
+    store->InjectTornFlush(10);
+    store->Flush();
+  }
+  LocalStore::Options options;
+  options.checkpoint_path = path_;
+  options.tolerate_torn_checkpoint = true;
+  auto recovered = LocalStore::Open(options);
+  // Cold start: the store admits it lost the flush and lets log replay
+  // rebuild everything.
+  EXPECT_EQ(recovered->KeyCount(), 0u);
+  // The torn file is gone, so a later flush starts from scratch.
+  EXPECT_FALSE(std::filesystem::exists(path_));
+}
+
+TEST_F(TornFlushTest, UntornCheckpointStillRecoversUnderTolerantOpen) {
+  {
+    auto store = LocalStore::Open({path_});
+    auto txn = store->BeginRW();
+    txn.Put("k1", "v1");
+    txn.Commit();
+    store->Flush();
+  }
+  LocalStore::Options options;
+  options.checkpoint_path = path_;
+  options.tolerate_torn_checkpoint = true;
+  auto recovered = LocalStore::Open(options);
+  EXPECT_EQ(recovered->KeyCount(), 1u);
+  auto snapshot = recovered->Snapshot();
+  EXPECT_EQ(snapshot.Get("k1"), std::optional<std::string>("v1"));
+}
+
+TEST_F(TornFlushTest, InjectionIsOneShot) {
+  auto store = LocalStore::Open({path_});
+  auto txn = store->BeginRW();
+  txn.Put("k1", "v1");
+  txn.Commit();
+  store->InjectTornFlush(4);
+  store->Flush();
+  store->Flush();  // second flush is whole again
+  auto recovered = LocalStore::Open({path_});
+  EXPECT_EQ(recovered->KeyCount(), 1u);
+}
+
+}  // namespace
+}  // namespace delos
