@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/zelos/zelos.h"
+#include "src/common/trace.h"
 #include "src/core/cluster.h"
 #include "src/engines/stacks.h"
 
@@ -26,8 +27,10 @@ int main() {
 
   InMemoryBackupStore backup;
   std::map<std::string, std::unique_ptr<zelos::ZelosApplicator>> apps;
+  Tracer tracer;  // cluster-wide: every propose gets a trace id
   Cluster::Options options;
   options.num_servers = 1;
+  options.base_options.tracer = &tracer;
   Cluster cluster(options, [&](ClusterServer& server) {
     StackConfig config = ZelosStackConfig(&backup);
     config.backup_segment_size = 512;
@@ -36,6 +39,7 @@ int main() {
     config.batch_max_delay_micros = 1200;
     BuildStack(server, config);
     auto app = std::make_unique<zelos::ZelosApplicator>();
+    app->set_metrics(server.metrics());  // live zelos.open_sessions gauge
     server.top()->RegisterUpcall(app.get());
     apps[server.id()] = std::move(app);
   });
@@ -79,5 +83,19 @@ int main() {
   std::printf("RESULT: short-circuit anomaly (sessionordering %lld us below base %lld us): %s\n",
               (long long)session_p99, (long long)base_p99,
               session_p99 <= base_p99 ? "reproduced" : "NOT reproduced");
+
+  // The per-request view behind the dashboard's aggregates: one traced write
+  // through the full stack, then the server's debug endpoint (Prometheus
+  // metrics + flight-recorder ring). This is the quick-start in README.md.
+  client.SetData("/n0", "traced");
+  cluster.server(0).top()->Sync().Get();
+  std::printf("\n--- sample end-to-end trace (one SetData through the Zelos stack) ---\n%s",
+              tracer.Render(tracer.last_trace_id()).c_str());
+  const std::string dump = cluster.server(0).DebugDump();
+  std::printf("\n--- DebugDump() tail (metrics exposition + flight recorder) ---\n");
+  // The full dump is thousands of lines under load; show the last screenful.
+  const size_t kTail = 1200;
+  std::printf("%s\n", dump.size() > kTail ? dump.substr(dump.size() - kTail).c_str()
+                                          : dump.c_str());
   return 0;
 }

@@ -7,6 +7,8 @@
 #   scripts/check.sh address        # additionally build + ctest with ASan
 #   scripts/check.sh --sim 500      # simulation suite only (label `sim`),
 #                                   # with the given randomized schedule count
+#   scripts/check.sh --obs          # observability suite only (label `obs`):
+#                                   # end-to-end tracing + flight recorder
 #
 # The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
 # count (default 200). Sanitizer suites run with a reduced count — each
@@ -41,9 +43,18 @@ if [[ "${1:-}" == "--sim" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--obs" ]]; then
+  echo "== observability suite (tracing + flight recorder) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build -L obs --output-on-failure -j "$JOBS"
+  echo "check.sh: observability suite passed"
+  exit 0
+fi
+
 SAN="${1:-}"
 if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', or '--sim N')" >&2
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', or '--obs')" >&2
   exit 2
 fi
 

@@ -246,9 +246,16 @@ int64_t ZelosApplicator::DoSetData(RWTxn& txn, LogPos pos, const std::string& pa
   return node.stat.version;
 }
 
+void ZelosApplicator::set_metrics(MetricsRegistry* metrics) {
+  open_sessions_gauge_ = metrics != nullptr ? metrics->GetGauge("zelos.open_sessions") : nullptr;
+}
+
 void ZelosApplicator::DoCloseSession(RWTxn& txn, SessionId session) {
   if (!txn.Get(SessionKey(session)).has_value()) {
     return;  // Already closed/expired: idempotent.
+  }
+  if (open_sessions_gauge_ != nullptr) {
+    open_sessions_gauge_->Add(-1);
   }
   // Delete the session's ephemeral nodes.
   std::vector<std::string> ephemerals;
@@ -297,6 +304,9 @@ std::any ZelosApplicator::ApplyOp(RWTxn& txn, const LogEntry& entry, LogPos pos)
       Serializer session_ser;
       session_ser.WriteSigned(timeout);
       txn.Put(SessionKey(id), session_ser.Release());
+      if (open_sessions_gauge_ != nullptr) {
+        open_sessions_gauge_->Add(1);
+      }
       return std::any(id);
     }
     case ZelosClient::kCloseSession:

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/apps/app_base.h"
+#include "src/common/metrics.h"
 #include "src/core/engine.h"
 
 namespace delos::zelos {
@@ -100,6 +101,10 @@ class ZelosApplicator : public IApplicator {
   void AddExistsWatch(const std::string& path, WatchCallback callback);
   void AddChildWatch(const std::string& path, WatchCallback callback);
 
+  // Publishes a "zelos.open_sessions" gauge to `metrics` (create / close /
+  // expire all travel through apply, so the gauge tracks committed state).
+  void set_metrics(MetricsRegistry* metrics);
+
   // Key layout (shared with the read path).
   static std::string NodeKey(const std::string& path);
   static std::string ChildKey(const std::string& parent, const std::string& child);
@@ -141,6 +146,8 @@ class ZelosApplicator : public IApplicator {
   // entries. Accumulates across a group-commit batch; drained by the first
   // postApply after the batch commits.
   std::vector<WatchEvent> pending_events_;
+
+  Gauge* open_sessions_gauge_ = nullptr;
 
   std::mutex watch_mu_;
   std::map<std::string, std::vector<WatchCallback>> data_watches_;

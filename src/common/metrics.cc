@@ -126,6 +126,15 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
 std::vector<std::string> MetricsRegistry::CounterNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
@@ -146,16 +155,73 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   return names;
 }
 
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, _] : gauges_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 std::string MetricsRegistry::Render() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
     out << name << " value=" << counter->value() << "\n";
   }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " gauge=" << gauge->value() << "\n";
+  }
   for (const auto& [name, histogram] : histograms_) {
     out << name << " count=" << histogram->count() << " mean=" << histogram->Mean()
         << " p50=" << histogram->Percentile(50) << " p99=" << histogram->Percentile(99)
         << " max=" << histogram->Max() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+// ("base.apply.batch_size") map dots and dashes to underscores.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string sanitized = name;
+  for (char& c : sanitized) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return sanitized;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string pname = SanitizeMetricName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string pname = SanitizeMetricName(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string pname = SanitizeMetricName(name);
+    out << "# TYPE " << pname << " summary\n";
+    out << pname << "{quantile=\"0.5\"} " << histogram->Percentile(50) << "\n";
+    out << pname << "{quantile=\"0.99\"} " << histogram->Percentile(99) << "\n";
+    out << pname << "_sum " << static_cast<int64_t>(histogram->Mean() *
+                                                    static_cast<double>(histogram->count()))
+        << "\n";
+    out << pname << "_count " << histogram->count() << "\n";
   }
   return out.str();
 }

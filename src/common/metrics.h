@@ -26,6 +26,22 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A live signed value (queue depth, cursor lag, open sessions, held leases)
+// — unlike a Counter it moves both ways. Set for sampled values, Add for
+// up/down tracking; Merge sums, so fleet aggregation of per-server gauges
+// reports the fleet-wide total.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  void Merge(const Gauge& other) { Add(other.value()); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // Log-bucketed histogram for microsecond latencies (covers 1 µs .. ~17 min).
 class Histogram {
  public:
@@ -62,19 +78,27 @@ class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
 
   // Snapshot of all metric names currently registered.
   std::vector<std::string> CounterNames() const;
   std::vector<std::string> HistogramNames() const;
+  std::vector<std::string> GaugeNames() const;
 
   // Renders "name count=.. p50=.. p99=.." lines (dashboard-style output used
   // by the Figure 11 bench).
   std::string Render() const;
 
+  // Prometheus-style text exposition: one "# TYPE" comment per metric,
+  // counters/gauges as bare samples, histograms as summaries (quantile
+  // series plus _sum/_count). Metric names are sanitized to [a-zA-Z0-9_:].
+  std::string RenderPrometheus() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 // RAII latency timer recording into a histogram on destruction.

@@ -8,11 +8,20 @@
 // inclusive-share percentages (a stack sample includes a frame iff that
 // frame is on the stack, i.e. with probability proportional to its
 // inclusive time).
+//
+// Time comes from an injected Clock (default RealClock), so Figure 7 shares
+// are deterministic when a simulated schedule drives a SimClock. The hot
+// path is sharded: each label resolves once to a per-label atomic slot
+// (shared-lock lookup; the exclusive lock is only taken to insert a new
+// label), so concurrent scopes never serialize the apply batch loop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/common/clock.h"
@@ -21,19 +30,25 @@ namespace delos {
 
 class ApplyProfiler {
  public:
+  explicit ApplyProfiler(Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : RealClock::Instance()) {}
+
+  // Swaps the time source (benches and the simulator call this before any
+  // scope runs; not synchronized against concurrent scopes).
+  void set_clock(Clock* clock) { clock_ = clock != nullptr ? clock : RealClock::Instance(); }
+
   class Scope {
    public:
     // A null profiler makes the scope a no-op, so layers can be profiled
-    // only when a bench asks for it. The label must outlive the scope (use a
-    // precomputed per-engine string, not a temporary, on hot paths).
+    // only when a bench asks for it.
     Scope(ApplyProfiler* profiler, const std::string& label)
         : profiler_(profiler),
-          label_(&label),
-          start_micros_(profiler != nullptr ? RealClock::Instance()->NowMicros() : 0) {}
+          slot_(profiler != nullptr ? profiler->LabelSlot(label) : nullptr),
+          start_micros_(profiler != nullptr ? profiler->NowMicros() : 0) {}
 
     ~Scope() {
       if (profiler_ != nullptr) {
-        profiler_->Record(*label_, RealClock::Instance()->NowMicros() - start_micros_);
+        slot_->fetch_add(profiler_->NowMicros() - start_micros_, std::memory_order_relaxed);
       }
     }
 
@@ -42,76 +57,90 @@ class ApplyProfiler {
 
    private:
     ApplyProfiler* profiler_;
-    const std::string* label_;
+    std::atomic<int64_t>* slot_;
     int64_t start_micros_;
   };
 
+  int64_t NowMicros() const { return clock_->NowMicros(); }
+
   void Record(const std::string& label, int64_t micros) {
-    std::lock_guard<std::mutex> lock(mu_);
-    inclusive_micros_[label] += micros;
+    LabelSlot(label)->fetch_add(micros, std::memory_order_relaxed);
   }
 
   // Adds to the total apply-thread busy time (recorded once per group-commit
   // batch by the BaseEngine, spanning beginTX..promise settlement).
   void RecordBusy(int64_t micros) {
-    std::lock_guard<std::mutex> lock(mu_);
-    total_busy_micros_ += micros;
+    total_busy_micros_.fetch_add(micros, std::memory_order_relaxed);
   }
 
   // Records one group-commit batch of `records` log records (the apply
   // pipeline commits one LocalStore transaction per batch).
   void RecordBatch(int64_t records) {
-    std::lock_guard<std::mutex> lock(mu_);
-    total_batches_ += 1;
-    total_records_ += records;
+    total_batches_.fetch_add(1, std::memory_order_relaxed);
+    total_records_.fetch_add(records, std::memory_order_relaxed);
   }
 
   std::map<std::string, int64_t> InclusiveMicros() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return inclusive_micros_;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::map<std::string, int64_t> snapshot;
+    for (const auto& [label, slot] : slots_) {
+      snapshot[label] = slot->load(std::memory_order_relaxed);
+    }
+    return snapshot;
   }
 
-  int64_t TotalBusyMicros() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_busy_micros_;
-  }
-
-  int64_t TotalBatches() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_batches_;
-  }
-
-  int64_t TotalRecords() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_records_;
-  }
+  int64_t TotalBusyMicros() const { return total_busy_micros_.load(std::memory_order_relaxed); }
+  int64_t TotalBatches() const { return total_batches_.load(std::memory_order_relaxed); }
+  int64_t TotalRecords() const { return total_records_.load(std::memory_order_relaxed); }
 
   // Records applied per group-commit transaction; 0 when nothing ran.
   double MeanBatchSize() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_batches_ == 0 ? 0.0
-                               : static_cast<double>(total_records_) /
-                                     static_cast<double>(total_batches_);
+    const int64_t batches = TotalBatches();
+    return batches == 0 ? 0.0
+                        : static_cast<double>(TotalRecords()) / static_cast<double>(batches);
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    inclusive_micros_.clear();
-    total_busy_micros_ = 0;
-    total_batches_ = 0;
-    total_records_ = 0;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (auto& [_, slot] : slots_) {
+      slot->store(0, std::memory_order_relaxed);
+    }
+    total_busy_micros_.store(0, std::memory_order_relaxed);
+    total_batches_.store(0, std::memory_order_relaxed);
+    total_records_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> inclusive_micros_;
-  int64_t total_busy_micros_ = 0;
-  int64_t total_batches_ = 0;
-  int64_t total_records_ = 0;
+  // Resolves a label to its accumulator. The common case (label already
+  // registered) takes only the shared lock; the slot pointer stays stable
+  // for the profiler's lifetime, so scopes hold it across the timed region.
+  std::atomic<int64_t>* LabelSlot(const std::string& label) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = slots_.find(label);
+      if (it != slots_.end()) {
+        return it->second.get();
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto& slot = slots_[label];
+    if (slot == nullptr) {
+      slot = std::make_unique<std::atomic<int64_t>>(0);
+    }
+    return slot.get();
+  }
+
+  Clock* clock_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<int64_t>>> slots_;
+  std::atomic<int64_t> total_busy_micros_{0};
+  std::atomic<int64_t> total_batches_{0};
+  std::atomic<int64_t> total_records_{0};
 };
 
 }  // namespace delos
 
+#include "src/common/trace.h"
 #include "src/core/engine.h"
 
 namespace delos {
@@ -137,6 +166,34 @@ class ProfiledApplicator : public IApplicator {
  private:
   IApplicator* inner_;
   ApplyProfiler* profiler_;
+};
+
+// Wraps an application applicator so a traced entry gets an "app.apply"
+// span on every replica — the top of the up-path in a proposal's trace.
+class TracedApplicator : public IApplicator {
+ public:
+  TracedApplicator(IApplicator* inner, Tracer* tracer, std::string server_id)
+      : inner_(inner), tracer_(tracer), server_id_(std::move(server_id)) {}
+
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    if (tracer_ == nullptr) {
+      return inner_->Apply(txn, entry, pos);
+    }
+    const std::vector<uint64_t> ids = TraceIdsOf(entry);
+    const int64_t start = tracer_->NowMicros();
+    std::any result = inner_->Apply(txn, entry, pos);
+    const int64_t end = tracer_->NowMicros();
+    for (const uint64_t id : ids) {
+      tracer_->RecordSpan(id, "app.apply", server_id_, start, end);
+    }
+    return result;
+  }
+  void PostApply(const LogEntry& entry, LogPos pos) override { inner_->PostApply(entry, pos); }
+
+ private:
+  IApplicator* inner_;
+  Tracer* tracer_;
+  std::string server_id_;
 };
 
 }  // namespace delos

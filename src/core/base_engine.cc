@@ -57,6 +57,7 @@ BaseEngine::BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store,
     commit_latency_hist_ = options_.metrics->GetHistogram("base.apply.commit_micros");
     records_counter_ = options_.metrics->GetCounter("base.apply.records");
     batches_counter_ = options_.metrics->GetCounter("base.apply.batches");
+    lag_gauge_ = options_.metrics->GetGauge("base.apply.lag");
   }
 }
 
@@ -135,6 +136,23 @@ Future<std::any> BaseEngine::Propose(LogEntry entry) {
     return MakeErrorFuture<std::any>(
         std::make_exception_ptr(LogUnavailableError("engine stopped")));
   }
+  // Tracing: an entry arriving without trace ids entered the stack here, so
+  // this engine is the trace root (a bare BaseEngine with no middle engines
+  // above it); entries stamped by a layer above keep their ids. The append
+  // span brackets the shared-log round trips (quorum phases included).
+  Tracer* tracer = options_.tracer;
+  std::vector<uint64_t> trace_ids;
+  bool trace_root = false;
+  int64_t append_start = 0;
+  if (tracer != nullptr) {
+    trace_ids = TraceIdsOf(entry);
+    if (trace_ids.empty()) {
+      trace_ids.push_back(tracer->NextTraceId());
+      SetTraceIds(&entry, trace_ids);
+      trace_root = true;
+    }
+    append_start = tracer->NowMicros();
+  }
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   entry.SetHeader(kBaseHeaderName, EngineHeader{kMsgTypeApp, EncodeBaseHeader(instance_id_, seq)});
   std::string bytes = entry.Serialize();
@@ -146,20 +164,41 @@ Future<std::any> BaseEngine::Propose(LogEntry entry) {
     future = it->second.GetFuture();
   }
   inflight_appends_.fetch_add(1, std::memory_order_acq_rel);
-  log_->Append(std::move(bytes)).Then([this, seq](Result<LogPos> result) {
-    // Once shutdown began, the apply/sync machinery may already be torn
-    // down: just fail the proposal instead of scheduling playback. Stop()
-    // drains inflight_appends_, so `this` outlives this callback.
-    if (shutdown_.load(std::memory_order_acquire)) {
-      FailPending(seq,
-                  std::make_exception_ptr(LogUnavailableError("engine stopped before apply")));
-    } else if (!result.ok()) {
-      FailPending(seq, result.error());
-    } else {
-      RequestPlayTo(result.value());
-    }
-    inflight_appends_.fetch_sub(1, std::memory_order_acq_rel);
-  });
+  log_->Append(std::move(bytes))
+      .Then([this, seq, tracer, trace_ids, append_start](Result<LogPos> result) {
+        if (tracer != nullptr) {
+          const int64_t append_end = tracer->NowMicros();
+          for (const uint64_t id : trace_ids) {
+            tracer->RecordSpan(id, "base.append", options_.server_id, append_start, append_end);
+          }
+        }
+        if (options_.recorder != nullptr) {
+          options_.recorder->Record(FlightEventKind::kAppend,
+                                    result.ok() ? std::string_view() : "append failed",
+                                    trace_ids.empty() ? 0 : trace_ids.front(),
+                                    result.ok() ? result.value() : 0);
+        }
+        // Once shutdown began, the apply/sync machinery may already be torn
+        // down: just fail the proposal instead of scheduling playback. Stop()
+        // drains inflight_appends_, so `this` outlives this callback.
+        if (shutdown_.load(std::memory_order_acquire)) {
+          FailPending(seq,
+                      std::make_exception_ptr(LogUnavailableError("engine stopped before apply")));
+        } else if (!result.ok()) {
+          FailPending(seq, result.error());
+        } else {
+          RequestPlayTo(result.value());
+        }
+        inflight_appends_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+  if (trace_root) {
+    future.Then([tracer, trace_ids, append_start, server = options_.server_id](Result<std::any>) {
+      const int64_t end = tracer->NowMicros();
+      for (const uint64_t id : trace_ids) {
+        tracer->RecordSpan(id, "client.propose", server, append_start, end);
+      }
+    });
+  }
   return future;
 }
 
@@ -197,9 +236,15 @@ void BaseEngine::SetTrimPrefix(LogPos pos) {
 }
 
 void BaseEngine::RequestPlayTo(LogPos pos) {
+  LogPos target;
   {
     std::lock_guard<std::mutex> lock(apply_mu_);
     play_target_ = std::max(play_target_, pos);
+    target = play_target_;
+  }
+  if (lag_gauge_ != nullptr) {
+    const LogPos applied = applied_pos_.load(std::memory_order_acquire);
+    lag_gauge_->Set(target > applied ? static_cast<int64_t>(target - applied) : 0);
   }
   apply_cv_.notify_all();
 }
@@ -309,6 +354,17 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
       return false;
     }
 
+    // Traced records get a per-replica "base.apply" span plus a flight-
+    // recorder event; untraced records (the common case in bulk replay) pay
+    // only a header-map lookup when tracing is on, nothing when it is off.
+    std::vector<uint64_t> trace_ids;
+    int64_t apply_span_start = 0;
+    if (options_.tracer != nullptr) {
+      trace_ids = TraceIdsOf(out.entry);
+      if (!trace_ids.empty()) {
+        apply_span_start = options_.tracer->NowMicros();
+      }
+    }
     {
       static const std::string kApplyLabel = "base.apply";
       ApplyProfiler::Scope scope(options_.profiler, kApplyLabel);
@@ -325,6 +381,16 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
         txn.Abort();
         Fatal(std::string("non-deterministic exception in apply: ") + e.what());
         return false;
+      }
+    }
+    if (!trace_ids.empty()) {
+      const int64_t apply_span_end = options_.tracer->NowMicros();
+      for (const uint64_t id : trace_ids) {
+        options_.tracer->RecordSpan(id, "base.apply", options_.server_id, apply_span_start,
+                                    apply_span_end);
+      }
+      if (options_.recorder != nullptr) {
+        options_.recorder->Record(FlightEventKind::kApply, "", trace_ids.front(), record.pos);
       }
     }
     outcomes.push_back(std::move(out));
@@ -349,6 +415,9 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
       commit_latency_hist_->Record(RealClock::Instance()->NowMicros() - commit_start);
     }
   }
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(FlightEventKind::kCommit, "", 0, records.front().pos, batch_last);
+  }
 
   // Crash window between commit and publish: the batch (with its cursor) is
   // durable in the store, but nothing downstream of the commit has happened
@@ -357,6 +426,9 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
   // twice; its proposers see "engine stopped" (the standard ambiguous
   // outcome for a crash after commit).
   if (options_.post_commit_crash_hook != nullptr && options_.post_commit_crash_hook(batch_last)) {
+    if (options_.recorder != nullptr) {
+      options_.recorder->Record(FlightEventKind::kCrash, "post-commit crash hook", 0, batch_last);
+    }
     return false;
   }
 
@@ -389,10 +461,20 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
 
   // Publish progress once per batch, before completing the proposers, so
   // that once a propose returns, applied_position() already covers it. The
-  // empty apply_mu_ critical section pairs with WaitForApply's
-  // check-then-wait so the broadcast cannot land in its window.
+  // (otherwise empty) apply_mu_ critical section pairs with WaitForApply's
+  // check-then-wait so the broadcast cannot land in its window; it also
+  // snapshots play_target_ for the lag gauge.
   applied_pos_.store(batch_last, std::memory_order_release);
-  { std::lock_guard<std::mutex> lock(apply_mu_); }
+  LogPos play_target_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(apply_mu_);
+    play_target_snapshot = play_target_;
+  }
+  if (lag_gauge_ != nullptr) {
+    lag_gauge_->Set(play_target_snapshot > batch_last
+                        ? static_cast<int64_t>(play_target_snapshot - batch_last)
+                        : 0);
+  }
   applied_cv_.notify_all();
 
   // Batched completion: collect every waiting promise under one pending_mu_
@@ -501,6 +583,10 @@ void BaseEngine::FlushNow() {
   }
   auto cursor = snapshot.Get(cursor_key_);
   durable_pos_.store(cursor.has_value() ? DecodePos(*cursor) : 0, std::memory_order_release);
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(FlightEventKind::kFlush, "", 0,
+                              durable_pos_.load(std::memory_order_relaxed));
+  }
 }
 
 void BaseEngine::TrimNow() {
@@ -513,10 +599,18 @@ void BaseEngine::TrimNow() {
   const LogPos effective = std::min(allowed, durable_pos_.load(std::memory_order_acquire));
   if (effective > log_->trim_prefix()) {
     log_->Trim(effective);
+    if (options_.recorder != nullptr) {
+      options_.recorder->Record(FlightEventKind::kTrim, "", 0, effective);
+    }
   }
 }
 
 void BaseEngine::Fatal(const std::string& message) {
+  // The flight recorder's raison d'être: the last thing a crashing server
+  // does is record why, so the ring dumped post-mortem ends with the cause.
+  if (options_.recorder != nullptr) {
+    options_.recorder->Record(FlightEventKind::kCrash, message);
+  }
   if (options_.fatal_handler != nullptr) {
     options_.fatal_handler(message);
     return;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/apply_profiler.h"
 #include "src/core/engine.h"
 
@@ -48,8 +49,18 @@ struct BaseEngineOptions {
   // Optional instrumentation.
   ApplyProfiler* profiler = nullptr;
   // Optional registry; when set the engine records base.apply.batch_size,
-  // base.apply.commit_micros, base.apply.records, and base.apply.batches.
+  // base.apply.commit_micros, base.apply.records, base.apply.batches, and
+  // the base.apply.lag gauge (log positions between the play target and the
+  // applied cursor).
   MetricsRegistry* metrics = nullptr;
+  // Optional per-proposal tracing: when set, Propose stamps a trace id on
+  // untraced entries, records the shared-log append span and per-record
+  // apply spans, and completes the client-visible root span.
+  Tracer* tracer = nullptr;
+  // Optional (but in practice always-on: ClusterServer defaults it to the
+  // server's own ring) flight recorder for appends, batch commits, flushes,
+  // trims, and crashes.
+  FlightRecorder* recorder = nullptr;
   // Invoked on non-deterministic failure; default aborts the process.
   std::function<void(const std::string&)> fatal_handler;
   // Simulation hook: invoked after a batch's transaction (including the
@@ -147,6 +158,7 @@ class BaseEngine : public IEngine {
   Histogram* commit_latency_hist_ = nullptr;
   Counter* records_counter_ = nullptr;
   Counter* batches_counter_ = nullptr;
+  Gauge* lag_gauge_ = nullptr;
 
   std::atomic<bool> shutdown_{false};
   std::mutex apply_mu_;

@@ -15,6 +15,14 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
   if (base_options.metrics == nullptr) {
     base_options.metrics = &metrics_;
   }
+  // The flight recorder is always on: default to this server's own ring.
+  // Tracing stays opt-in (a Tracer injected through the base options is
+  // shared by the whole cluster so one trace spans every replica).
+  if (base_options.recorder == nullptr) {
+    base_options.recorder = &own_recorder_;
+  }
+  recorder_ = base_options.recorder;
+  tracer_ = base_options.tracer;
   base_ = std::make_unique<BaseEngine>(log_, store_.get(), std::move(base_options));
   top_ = base_.get();
 }

@@ -37,6 +37,9 @@ class ClusterServer {
   Engine* AddEngine(Args&&... args) {
     auto engine = std::make_unique<Engine>(std::forward<Args>(args)..., top_, store_.get());
     Engine* raw = engine.get();
+    // Every engine of this server shares its flight recorder and the
+    // cluster's tracer; injected here so stack builders need no plumbing.
+    raw->ConfigureObservability(tracer_, recorder_, id_);
     middle_.push_back(std::move(engine));
     top_ = raw;
     return raw;
@@ -52,6 +55,15 @@ class ClusterServer {
   ISharedLog* log() { return log_.get(); }
   ApplyProfiler* profiler() { return &profiler_; }
   MetricsRegistry* metrics() { return &metrics_; }
+  // The server's always-on flight recorder (the server's own ring unless the
+  // base options injected one) and the cluster-wide tracer (null when
+  // tracing is off).
+  FlightRecorder* flight_recorder() { return recorder_; }
+  Tracer* tracer() { return tracer_; }
+
+  // The on-demand debug endpoint: Prometheus-style metrics exposition plus
+  // the flight-recorder ring.
+  std::string DebugDump() const { return delos::DebugDump(&metrics_, recorder_); }
 
   // Finds a middle engine by name (nullptr if absent).
   StackableEngine* FindEngine(const std::string& name);
@@ -63,6 +75,9 @@ class ClusterServer {
   std::unique_ptr<LocalStore> store_;
   ApplyProfiler profiler_;
   MetricsRegistry metrics_;
+  FlightRecorder own_recorder_;
+  FlightRecorder* recorder_ = nullptr;  // = own_recorder_ unless injected
+  Tracer* tracer_ = nullptr;
   std::unique_ptr<BaseEngine> base_;
   std::vector<std::unique_ptr<StackableEngine>> middle_;
   IEngine* top_;

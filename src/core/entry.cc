@@ -96,4 +96,50 @@ LogEntry MakeControlEntry(const std::string& engine, uint64_t msgtype, std::stri
   return entry;
 }
 
+namespace {
+
+std::vector<uint64_t> DecodeTraceIds(std::string_view blob) {
+  std::vector<uint64_t> ids;
+  try {
+    Deserializer de(blob);
+    const uint64_t count = de.ReadVarint();
+    ids.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      ids.push_back(de.ReadVarint());
+    }
+  } catch (const SerdeError&) {
+    // Diagnostic data only: a malformed trace header yields "untraced", it
+    // never fails the entry.
+    ids.clear();
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::vector<uint64_t> TraceIdsOf(const LogEntry& entry) {
+  auto header = entry.GetHeaderView(kTraceHeaderName);
+  if (!header.has_value()) {
+    return {};
+  }
+  return DecodeTraceIds(header->blob);
+}
+
+std::vector<uint64_t> TraceIdsOf(const LogEntryView& view) {
+  auto header = view.GetHeader(kTraceHeaderName);
+  if (!header.has_value()) {
+    return {};
+  }
+  return DecodeTraceIds(header->blob);
+}
+
+void SetTraceIds(LogEntry* entry, const std::vector<uint64_t>& ids) {
+  Serializer ser;
+  ser.WriteVarint(ids.size());
+  for (const uint64_t id : ids) {
+    ser.WriteVarint(id);
+  }
+  entry->SetHeader(kTraceHeaderName, EngineHeader{kMsgTypeApp, ser.Release()});
+}
+
 }  // namespace delos

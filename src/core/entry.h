@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace delos {
 
@@ -78,5 +79,25 @@ struct LogEntryView {
 
 // Convenience for engines generating their own control entries.
 LogEntry MakeControlEntry(const std::string& engine, uint64_t msgtype, std::string blob);
+
+// Trace-id piggybacking (the tracing subsystem in src/common/trace.h).
+//
+// A proposal's trace ids travel exactly like any engine's state: as one more
+// entry in the header map, under a name no engine claims. Every layer —
+// including layers that predate tracing — passes the header through
+// untouched, so a trace survives stack upgrades and mixed-version replicas
+// for free (the same argument §3.4 makes for engine headers). The value is a
+// varint-count-prefixed list of ids rather than a single id because the
+// BatchingEngine folds many proposals into one control entry: the batch
+// entry carries the union, so the shared append attributes to every
+// constituent trace.
+inline constexpr char kTraceHeaderName[] = "trace";
+
+// Ids piggybacked on the entry; empty when untraced (or the blob is
+// malformed — tracing is diagnostic and never fails an apply).
+std::vector<uint64_t> TraceIdsOf(const LogEntry& entry);
+std::vector<uint64_t> TraceIdsOf(const LogEntryView& view);
+
+void SetTraceIds(LogEntry* entry, const std::vector<uint64_t>& ids);
 
 }  // namespace delos

@@ -11,6 +11,7 @@ StackableEngine::StackableEngine(std::string name, IEngine* downstream, LocalSto
     : name_(std::move(name)),
       apply_label_(name_ + ".apply"),
       postapply_label_(name_ + ".postApply"),
+      down_label_(name_ + ".down"),
       downstream_(downstream),
       store_(store),
       options_(options),
@@ -26,11 +27,69 @@ StackableEngine::StackableEngine(std::string name, IEngine* downstream, LocalSto
   downstream_->RegisterUpcall(this);
 }
 
+void StackableEngine::ConfigureObservability(Tracer* tracer, FlightRecorder* recorder,
+                                             std::string server_id) {
+  options_.tracer = tracer;
+  options_.recorder = recorder;
+  server_label_ = std::move(server_id);
+}
+
+std::vector<uint64_t> StackableEngine::EnsureTraceIds(LogEntry* entry, bool* assigned) {
+  if (assigned != nullptr) {
+    *assigned = false;
+  }
+  if (options_.tracer == nullptr) {
+    return {};
+  }
+  std::vector<uint64_t> ids = TraceIdsOf(*entry);
+  if (ids.empty()) {
+    ids.push_back(options_.tracer->NextTraceId());
+    SetTraceIds(entry, ids);
+    if (assigned != nullptr) {
+      *assigned = true;
+    }
+  }
+  return ids;
+}
+
+void StackableEngine::RecordRootSpanOnCompletion(Future<std::any>& future,
+                                                 std::vector<uint64_t> ids, int64_t start) {
+  Tracer* tracer = options_.tracer;
+  if (tracer == nullptr || ids.empty()) {
+    return;
+  }
+  future.Then(
+      [tracer, ids = std::move(ids), start, server = server_label_](Result<std::any>) {
+        const int64_t end = tracer->NowMicros();
+        for (const uint64_t id : ids) {
+          tracer->RecordSpan(id, "client.propose", server, start, end);
+        }
+      });
+}
+
 Future<std::any> StackableEngine::Propose(LogEntry entry) {
   // Even a not-yet-enabled engine may piggyback its header (phase one of the
   // two-phase insertion protocol); it just must not act on it in apply.
   OnPropose(&entry);
-  return downstream_->Propose(std::move(entry));
+  Tracer* tracer = options_.tracer;
+  if (tracer == nullptr) {
+    return downstream_->Propose(std::move(entry));
+  }
+  // Down-path span: the synchronous hand-off through every layer below this
+  // one. The topmost engine an entry touches also mints its trace id and
+  // records the client-visible end-to-end span when the propose settles.
+  bool assigned = false;
+  const std::vector<uint64_t> ids = EnsureTraceIds(&entry, &assigned);
+  const int64_t start = tracer->NowMicros();
+  Future<std::any> future = downstream_->Propose(std::move(entry));
+  const int64_t handoff = tracer->NowMicros();
+  for (const uint64_t id : ids) {
+    tracer->RecordSpan(id, down_label_, server_label_, start, handoff);
+  }
+  if (assigned) {
+    RecordRootSpanOnCompletion(future, ids, start);
+  }
+  return future;
 }
 
 void StackableEngine::SetTrimPrefix(LogPos pos) {
@@ -50,9 +109,27 @@ void StackableEngine::RelayTrim() {
 
 std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   ApplyProfiler::Scope scope(options_.profiler, apply_label_);
+  // Up-path span: this layer's apply of a traced entry, attributed to this
+  // replica. Untraced entries (tracer off, or no trace header) pay only the
+  // header lookup.
+  Tracer* tracer = options_.tracer;
+  std::vector<uint64_t> trace_ids;
+  int64_t trace_start = 0;
+  if (tracer != nullptr) {
+    trace_ids = TraceIdsOf(entry);
+    if (!trace_ids.empty()) {
+      trace_start = tracer->NowMicros();
+    }
+  }
   upstream_applied_ = false;
   std::any result = ApplyImpl(txn, entry, pos);
   upstream_applied_carry_.Push(pos, upstream_applied_);
+  if (!trace_ids.empty()) {
+    const int64_t trace_end = tracer->NowMicros();
+    for (const uint64_t id : trace_ids) {
+      tracer->RecordSpan(id, apply_label_, server_label_, trace_start, trace_end);
+    }
+  }
   return result;
 }
 
@@ -126,11 +203,17 @@ void StackableEngine::PostApply(const LogEntry& entry, LogPos pos) {
     if (header->msgtype == kMsgTypeEnable) {
       enabled_.store(true, std::memory_order_release);
       LOG_INFO << "engine " << name_ << " enabled via log at pos " << pos;
+      if (options_.recorder != nullptr) {
+        options_.recorder->Record(FlightEventKind::kControl, name_ + " enabled", 0, pos);
+      }
       return;
     }
     if (header->msgtype == kMsgTypeDisable) {
       enabled_.store(false, std::memory_order_release);
       LOG_INFO << "engine " << name_ << " disabled via log at pos " << pos;
+      if (options_.recorder != nullptr) {
+        options_.recorder->Record(FlightEventKind::kControl, name_ + " disabled", 0, pos);
+      }
       return;
     }
     if (enabled()) {

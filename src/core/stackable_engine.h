@@ -21,8 +21,10 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/apply_profiler.h"
 #include "src/core/engine.h"
 
@@ -71,6 +73,11 @@ inline constexpr uint64_t kMsgTypeDisable = 1001;
 struct StackableEngineOptions {
   ApplyProfiler* profiler = nullptr;
   MetricsRegistry* metrics = nullptr;
+  // Observability sinks, normally injected by ClusterServer::AddEngine via
+  // ConfigureObservability (so every engine of a server shares the server's
+  // recorder and the cluster's tracer without per-engine plumbing).
+  Tracer* tracer = nullptr;
+  FlightRecorder* recorder = nullptr;
   // Initial enabled state when the LocalStore has no recorded flag (i.e. the
   // engine has always been part of this deployment's stack). Two-phase
   // insertion deploys with false and enables via the log.
@@ -101,6 +108,11 @@ class StackableEngine : public IEngine, public IApplicator {
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   const std::string& name() const { return name_; }
+
+  // Wires the tracing/flight-recorder sinks and the server label used on
+  // this engine's spans. Called by ClusterServer::AddEngine right after
+  // construction (before any traffic); tests may call it directly.
+  void ConfigureObservability(Tracer* tracer, FlightRecorder* recorder, std::string server_id);
 
  protected:
   // Piggybacks this engine's header on an outgoing application proposal.
@@ -140,21 +152,40 @@ class StackableEngine : public IEngine, public IApplicator {
   // min(upstream constraint, own opinion) downstream.
   void SetOwnTrimOpinion(LogPos pos);
 
+  // Stamps a fresh trace id on `entry` when tracing is on and the entry has
+  // none — this engine is then the trace root. Returns the entry's ids
+  // (empty when tracing is off); sets *assigned when a fresh id was minted.
+  // Engines that bypass the generic Propose (batching, session retries) call
+  // this so a proposal entering the stack at their layer is still traced.
+  std::vector<uint64_t> EnsureTraceIds(LogEntry* entry, bool* assigned = nullptr);
+
+  // Records the client-visible end-to-end span for a root proposal once its
+  // future settles. `start` is the injected-clock time the proposal entered
+  // the stack.
+  void RecordRootSpanOnCompletion(Future<std::any>& future, std::vector<uint64_t> ids,
+                                  int64_t start);
+
   IEngine* downstream() { return downstream_; }
   IApplicator* upstream() { return upstream_; }
   LocalStore* store() { return store_; }
   const Keyspace& space() const { return space_; }
   ApplyProfiler* profiler() { return options_.profiler; }
   MetricsRegistry* metrics() { return options_.metrics; }
+  Tracer* tracer() { return options_.tracer; }
+  FlightRecorder* recorder() { return options_.recorder; }
+  const std::string& server_label() const { return server_label_; }
 
  private:
   void RelayTrim();
   std::any ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos);
 
   std::string name_;
-  // Precomputed profiler labels (hot-path Scope takes a reference).
+  // Precomputed profiler/span labels (hot-path Scope takes a reference).
   std::string apply_label_;
   std::string postapply_label_;
+  std::string down_label_;
+  // Which replica this engine instance runs on; attributed on its spans.
+  std::string server_label_;
   IEngine* downstream_;
   LocalStore* store_;
   StackableEngineOptions options_;

@@ -40,7 +40,11 @@ std::vector<LogEntry> DecodeBatch(const std::string& blob) {
 
 BatchingEngine::BatchingEngine(Options options, IEngine* downstream, LocalStore* store)
     : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
-      options_(options) {}
+      options_(options) {
+  if (options_.metrics != nullptr) {
+    queue_depth_gauge_ = options_.metrics->GetGauge("batching.queue.depth");
+  }
+}
 
 BatchingEngine::~BatchingEngine() {
   // Flush whatever is pending so waiters are not left hanging.
@@ -54,11 +58,22 @@ Future<std::any> BatchingEngine::Propose(LogEntry entry) {
   if (!enabled()) {
     return downstream()->Propose(std::move(entry));
   }
-  auto promise = std::make_shared<Promise<std::any>>();
-  Future<std::any> future = promise->GetFuture();
+  Waiter waiter;
+  waiter.promise = std::make_shared<Promise<std::any>>();
+  Future<std::any> future = waiter.promise->GetFuture();
+  if (tracer() != nullptr) {
+    // Queue-wait accounting starts now; the span is recorded at flush. An
+    // entry entering the stack at this layer is stamped here, so batched
+    // proposals are traced even with no engine above.
+    waiter.trace_ids = EnsureTraceIds(&entry, &waiter.trace_root);
+    waiter.enqueue_micros = tracer()->NowMicros();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   batch_entries_.push_back(std::move(entry));
-  batch_waiters_.push_back(Waiter{promise});
+  batch_waiters_.push_back(std::move(waiter));
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<int64_t>(batch_entries_.size()));
+  }
   if (batch_entries_.size() >= options_.max_batch_entries) {
     FlushLocked(lock);
     return future;
@@ -82,15 +97,51 @@ void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
   entries.swap(batch_entries_);
   waiters.swap(batch_waiters_);
   batch_ticket_ += 1;
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(0);
+  }
   lock.unlock();
 
   batches_proposed_.fetch_add(1, std::memory_order_relaxed);
   entries_batched_.fetch_add(entries.size(), std::memory_order_relaxed);
 
   LogEntry batch = MakeControlEntry(name(), kMsgTypeBatch, EncodeBatch(entries));
+  Tracer* tracer = this->tracer();
+  if (tracer != nullptr) {
+    // Close every sub-entry's queue-wait span and stamp the batch control
+    // entry with the *union* of their ids: the batch never gets an id of its
+    // own, so the shared append downstream attributes to each constituent
+    // proposal's trace.
+    const int64_t flush_micros = tracer->NowMicros();
+    std::vector<uint64_t> merged;
+    for (const Waiter& waiter : waiters) {
+      for (const uint64_t id : waiter.trace_ids) {
+        tracer->RecordSpan(id, "batching.queue", server_label(), waiter.enqueue_micros,
+                           flush_micros);
+        merged.push_back(id);
+      }
+    }
+    if (!merged.empty()) {
+      SetTraceIds(&batch, merged);
+    }
+  }
   downstream()
       ->Propose(std::move(batch))
-      .Then([waiters = std::move(waiters)](Result<std::any> result) {
+      .Then([waiters = std::move(waiters), tracer,
+             server = server_label()](Result<std::any> result) {
+        if (tracer != nullptr) {
+          // Sub-entries whose ids were minted here get their client-visible
+          // root span now that the batch's outcome is known.
+          const int64_t end = tracer->NowMicros();
+          for (const Waiter& waiter : waiters) {
+            if (!waiter.trace_root) {
+              continue;
+            }
+            for (const uint64_t id : waiter.trace_ids) {
+              tracer->RecordSpan(id, "client.propose", server, waiter.enqueue_micros, end);
+            }
+          }
+        }
         if (!result.ok()) {
           for (const Waiter& waiter : waiters) {
             waiter.promise->SetException(result.error());

@@ -50,11 +50,20 @@ class BatchingEngine : public StackableEngine {
 
   struct Waiter {
     std::shared_ptr<Promise<std::any>> promise;
+    // Tracing context (empty/zero when tracing is off): the sub-entry's
+    // trace ids, when it entered the queue, and whether this engine minted
+    // its id (it then owns the client-visible root span).
+    std::vector<uint64_t> trace_ids;
+    int64_t enqueue_micros = 0;
+    bool trace_root = false;
   };
 
   void FlushLocked(std::unique_lock<std::mutex>& lock);
 
   Options options_;
+  // Live queue depth ("how full is the open batch right now"), null without
+  // a registry.
+  Gauge* queue_depth_gauge_ = nullptr;
   std::mutex mu_;
   std::vector<LogEntry> batch_entries_;
   std::vector<Waiter> batch_waiters_;

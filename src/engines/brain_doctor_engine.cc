@@ -48,6 +48,11 @@ std::any BrainDoctorEngine::ApplyControl(RWTxn& txn, const EngineHeader& header,
       txn.Delete(key);
     }
   }
+  if (recorder() != nullptr) {
+    // Raw repair writes bypass the application; leave an audit trail.
+    recorder()->Record(FlightEventKind::kControl,
+                       "braindoctor applied " + std::to_string(count) + " raw writes", 0, pos);
+  }
   return std::any(count);
 }
 

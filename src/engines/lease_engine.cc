@@ -47,6 +47,9 @@ LeaseEngine::LeaseEngine(Options options, IEngine* downstream, LocalStore* store
     : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
       options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock : RealClock::Instance()) {
+  if (options_.metrics != nullptr) {
+    active_gauge_ = options_.metrics->GetGauge("lease.active");
+  }
   if (options_.auto_renew) {
     renew_thread_ = std::thread([this] { RenewLoopMain(); });
   }
@@ -146,6 +149,10 @@ std::any LeaseEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const
       txn.Put(state_key, state.Encode());
       carry.acquired_self = (requester == options_.server_id);
       lease_carry_.Push(pos, carry);
+      if (recorder() != nullptr) {
+        recorder()->Record(FlightEventKind::kLease, "granted to " + requester, 0, pos,
+                           state.epoch);
+      }
       return std::any(true);
     }
     if (state.holder == requester) {
@@ -166,6 +173,10 @@ std::any LeaseEngine::ApplyControl(RWTxn& txn, const EngineHeader& header, const
     if (!state.holder.empty() && state.epoch == epoch && state.renewal_seq == renewal_seq) {
       // No renewal since the expirer's observation: free the lease.
       LOG_INFO << "lease: holder " << state.holder << " expired (epoch " << epoch << ")";
+      if (recorder() != nullptr) {
+        recorder()->Record(FlightEventKind::kLease, "expired holder " + state.holder, 0, pos,
+                           epoch);
+      }
       state.holder.clear();
       txn.Put(state_key, state.Encode());
       return std::any(true);
@@ -179,6 +190,10 @@ void LeaseEngine::PostApplyControl(const EngineHeader& header, const LogEntry& e
                                    LogPos pos) {
   const LeaseCarry carry = lease_carry_.Take(pos).value_or(LeaseCarry{});
   const LeaseState state = ReadStateSnapshot();
+  if (active_gauge_ != nullptr) {
+    // This replica's view of how many leases are currently granted (0 or 1).
+    active_gauge_->Set(state.holder.empty() ? 0 : 1);
+  }
   std::lock_guard<std::mutex> lock(soft_mu_);
   const int64_t now = clock_->NowMicros();
   observed_epoch_ = state.epoch;

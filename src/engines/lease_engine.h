@@ -99,6 +99,9 @@ class LeaseEngine : public StackableEngine {
 
   Options options_;
   Clock* clock_;
+  // Live count of granted leases as seen by this replica (0 or 1), null
+  // without a registry.
+  Gauge* active_gauge_ = nullptr;
 
   // Soft, replica-local view maintained in postApply.
   mutable std::mutex soft_mu_;

@@ -22,7 +22,10 @@ ObserverEngine::ObserverEngine(Options options, IEngine* downstream, LocalStore*
 
 Future<std::any> ObserverEngine::Propose(LogEntry entry) {
   const int64_t start = RealClock::Instance()->NowMicros();
-  Future<std::any> future = downstream()->Propose(std::move(entry));
+  // Route through the base class so traced proposals get this observer's
+  // down-path span (and a trace id if this observer is the top of the
+  // stack) in addition to the latency histogram.
+  Future<std::any> future = StackableEngine::Propose(std::move(entry));
   future.Then([hist = propose_hist_, start](const Result<std::any>&) {
     hist->Record(RealClock::Instance()->NowMicros() - start);
   });

@@ -69,6 +69,17 @@ Future<std::any> SessionOrderEngine::Propose(LogEntry entry) {
   }
   auto promise = std::make_shared<Promise<std::any>>();
   Future<std::any> future = promise->GetFuture();
+  // Trace ids are stamped before the entry is copied into the pending map so
+  // retries re-propose the same ids — a retried append shows up as extra
+  // spans on the *original* trace, which is exactly the causality a debugger
+  // wants to see.
+  bool trace_root = false;
+  std::vector<uint64_t> trace_ids;
+  int64_t trace_start = 0;
+  if (tracer() != nullptr) {
+    trace_ids = EnsureTraceIds(&entry, &trace_root);
+    trace_start = tracer()->NowMicros();
+  }
   LogEntry stamped;
   uint64_t seq;
   {
@@ -82,6 +93,17 @@ Future<std::any> SessionOrderEngine::Propose(LogEntry entry) {
   // postApply when its sequence number applies in order. Append failures are
   // retried with the same sequence number (see ProposeStamped).
   ProposeStamped(std::move(stamped), seq);
+  if (!trace_ids.empty()) {
+    // Sequencing span: stamping plus the synchronous hand-off of the first
+    // append attempt.
+    const int64_t handoff = tracer()->NowMicros();
+    for (const uint64_t id : trace_ids) {
+      tracer()->RecordSpan(id, "sessionorder.seq", server_label(), trace_start, handoff);
+    }
+    if (trace_root) {
+      RecordRootSpanOnCompletion(future, trace_ids, trace_start);
+    }
+  }
   return future;
 }
 

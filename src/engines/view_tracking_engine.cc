@@ -42,6 +42,9 @@ ViewTrackingEngine::ViewTrackingEngine(Options options, IEngine* downstream, Loc
     : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
       options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock : RealClock::Instance()) {
+  if (options_.metrics != nullptr) {
+    members_gauge_ = options_.metrics->GetGauge("viewtracking.members");
+  }
   if (options_.heartbeat_interval_micros > 0) {
     heartbeat_thread_ = std::thread([this] { HeartbeatLoopMain(); });
   }
@@ -78,6 +81,9 @@ void ViewTrackingEngine::ApplyPositionReport(RWTxn& txn, const std::string& serv
   // earlier one committed) must not regress the view.
   if (!existing.has_value() || durable > known) {
     txn.Put(view_key, EncodePos(durable));
+  }
+  if (!existing.has_value() && recorder() != nullptr) {
+    recorder()->Record(FlightEventKind::kViewChange, "join " + server, 0, durable);
   }
   RecomputeTrimOpinion(txn);
   {
@@ -116,6 +122,9 @@ std::any ViewTrackingEngine::ApplyControl(RWTxn& txn, const EngineHeader& header
   if (header.msgtype == kMsgTypeEject) {
     Deserializer de(header.blob);
     const std::string server = de.ReadString();
+    if (recorder() != nullptr) {
+      recorder()->Record(FlightEventKind::kViewChange, "eject " + server, 0, pos);
+    }
     txn.Delete(space().Key("view/" + server));
     RecomputeTrimOpinion(txn);
     std::lock_guard<std::mutex> lock(soft_mu_);
@@ -126,14 +135,17 @@ std::any ViewTrackingEngine::ApplyControl(RWTxn& txn, const EngineHeader& header
 
 void ViewTrackingEngine::RecomputeTrimOpinion(RWTxn& txn) {
   LogPos min_pos = kNoTrimConstraint;
-  bool any = false;
+  int64_t members = 0;
   txn.Scan(space().Key("view/"), space().Key("view0"),
            [&](std::string_view key, std::string_view value) {
              min_pos = std::min(min_pos, DecodePos(std::string(value)));
-             any = true;
+             members += 1;
              return true;
            });
-  pending_trim_opinion_ = any ? min_pos : kNoTrimConstraint;
+  pending_trim_opinion_ = members > 0 ? min_pos : kNoTrimConstraint;
+  if (members_gauge_ != nullptr) {
+    members_gauge_->Set(members);
+  }
 }
 
 void ViewTrackingEngine::PostApplyControl(const EngineHeader& header, const LogEntry& entry,

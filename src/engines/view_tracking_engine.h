@@ -75,6 +75,8 @@ class ViewTrackingEngine : public StackableEngine {
 
   Options options_;
   Clock* clock_;
+  // Current number of servers in the view, null without a registry.
+  Gauge* members_gauge_ = nullptr;
   // Soft state: wall time we last saw an entry from each server, and the
   // last time we proposed ejecting it (rate limit). Apply thread +
   // background readers; guarded.

@@ -77,6 +77,11 @@ void SimNetwork::SetFaultHook(FaultHook hook) {
   fault_hook_ = std::move(hook);
 }
 
+void SimNetwork::SetFlightRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+}
+
 void SimNetwork::SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned) {
   std::lock_guard<std::mutex> lock(mu_);
   if (partitioned) {
@@ -134,9 +139,17 @@ Future<std::string> SimNetwork::Call(const NodeId& from, const NodeId& to,
   });
 
   if (!LinkOpenLocked(from, to)) {
+    if (recorder_ != nullptr) {
+      recorder_->Record(FlightEventKind::kNet, "dropped " + from + "->" + to + " " + method, 0,
+                        request_index);
+    }
     return future;  // Dropped on the request path; the timeout will fire.
   }
   if (fault_hook_ != nullptr && fault_hook_(from, to, method, request_index)) {
+    if (recorder_ != nullptr) {
+      recorder_->Record(FlightEventKind::kNet, "injected drop " + from + "->" + to + " " + method,
+                        0, request_index);
+    }
     return future;  // Injected drop; the timeout will fire.
   }
 
@@ -158,9 +171,19 @@ Future<std::string> SimNetwork::Call(const NodeId& from, const NodeId& to,
       std::lock_guard<std::mutex> lock(mu_);
       const uint64_t reply_index = ++message_count_;
       if (!LinkOpenLocked(to, from)) {
+        if (recorder_ != nullptr) {
+          recorder_->Record(FlightEventKind::kNet, "dropped reply " + to + "->" + from + " " +
+                                                       method,
+                            0, reply_index);
+        }
         return;  // Reply dropped; the timeout will fire.
       }
       if (fault_hook_ != nullptr && fault_hook_(to, from, method, reply_index)) {
+        if (recorder_ != nullptr) {
+          recorder_->Record(FlightEventKind::kNet, "injected drop reply " + to + "->" + from +
+                                                       " " + method,
+                            0, reply_index);
+        }
         return;  // Injected drop; the timeout will fire.
       }
       const int64_t reply_latency = LatencyLocked(to, from);

@@ -25,6 +25,7 @@
 
 #include "src/common/future.h"
 #include "src/common/random.h"
+#include "src/common/trace.h"
 
 namespace delos {
 
@@ -87,6 +88,11 @@ class SimNetwork {
                                        const std::string& method, uint64_t message_index)>;
   void SetFaultHook(FaultHook hook);
 
+  // When set, messages dropped by the fault hook or a closed link (partition
+  // / down node) leave a kNet event behind — the flight-recorder view of the
+  // network's misbehavior.
+  void SetFlightRecorder(FlightRecorder* recorder);
+
   // Issues an RPC. The future is fulfilled with the handler's reply, or with
   // LogUnavailableError if the call times out (drop, partition, down node).
   Future<std::string> Call(const NodeId& from, const NodeId& to, const std::string& method,
@@ -124,6 +130,7 @@ class SimNetwork {
   std::map<std::pair<NodeId, NodeId>, int64_t> link_latency_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
   FaultHook fault_hook_;
+  FlightRecorder* recorder_ = nullptr;
   Rng rng_;
   uint64_t next_sequence_ = 0;
   uint64_t message_count_ = 0;

@@ -252,17 +252,28 @@ Future<LogPos> FaultyLog::AppendInner(std::string payload) {
   return first;
 }
 
+void FaultyLog::RecordFault(FlightEventKind kind, std::string detail, uint64_t index) {
+  FlightRecorder* recorder = recorder_.load(std::memory_order_acquire);
+  if (recorder != nullptr) {
+    recorder->Record(kind, std::move(detail), 0, index);
+  }
+}
+
 Future<LogPos> FaultyLog::Append(std::string payload) {
   const uint64_t index = append_counter_->fetch_add(1, std::memory_order_acq_rel) + 1;
 
   if (faults_.dropped_appends.count(index) != 0) {
     faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    RecordFault(FlightEventKind::kFault, "injected drop of append " + std::to_string(index),
+                index);
     return MakeErrorFuture<LogPos>(std::make_exception_ptr(
         LogUnavailableError("injected partition: append " + std::to_string(index) + " dropped")));
   }
 
   if (faults_.reordered_appends.count(index) != 0) {
     faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    RecordFault(FlightEventKind::kFault, "injected reorder of append " + std::to_string(index),
+                index);
     auto promise = std::make_shared<Promise<LogPos>>();
     uint64_t ticket;
     {
@@ -298,6 +309,8 @@ Future<LogPos> FaultyLog::Append(std::string payload) {
 
   if (faults_.duplicated_appends.count(index) != 0) {
     faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    RecordFault(FlightEventKind::kFault, "injected duplicate of append " + std::to_string(index),
+                index);
     std::string copy = payload;
     Future<LogPos> first = AppendInner(std::move(payload));
     inner_->Append(std::move(copy)).Then([](Result<LogPos>) {});
@@ -306,6 +319,8 @@ Future<LogPos> FaultyLog::Append(std::string payload) {
 
   if (faults_.timeout_appends.count(index) != 0) {
     faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    RecordFault(FlightEventKind::kFault, "injected timeout of append " + std::to_string(index),
+                index);
     // The entry commits; only the acknowledgment is lost.
     auto promise = std::make_shared<Promise<LogPos>>();
     AppendInner(std::move(payload)).Then([promise, index](Result<LogPos>) {
@@ -323,7 +338,10 @@ Future<LogPos> FaultyLog::CheckTail() { return inner_->CheckTail(); }
 std::vector<LogRecord> FaultyLog::ReadRange(LogPos lo, LogPos hi) {
   const LogPos crash = faults_.crash_at_pos;
   if (crash != 0 && lo >= crash) {
-    crashed_.store(true, std::memory_order_release);
+    if (!crashed_.exchange(true, std::memory_order_acq_rel)) {
+      RecordFault(FlightEventKind::kCrash,
+                  "injected crash: replay wedged at position " + std::to_string(crash), crash);
+    }
     throw LogUnavailableError("injected crash: replay refused at position " +
                               std::to_string(crash));
   }

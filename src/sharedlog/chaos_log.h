@@ -25,6 +25,7 @@
 #include "src/common/blocking_queue.h"
 #include "src/common/random.h"
 #include "src/common/scheduler.h"
+#include "src/common/trace.h"
 #include "src/sharedlog/shared_log.h"
 
 namespace delos {
@@ -185,6 +186,13 @@ class FaultyLog : public ISharedLog {
   uint64_t appends_seen() const { return append_counter_->load(std::memory_order_acquire); }
   uint64_t faults_fired() const { return faults_fired_.load(std::memory_order_relaxed); }
 
+  // When set, every injected fault lands in the recorder as a kFault event
+  // (kCrash for the replay wedge), so a post-mortem dump shows which
+  // injections this server actually experienced.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+
  private:
   struct Held {
     std::string payload;
@@ -194,10 +202,13 @@ class FaultyLog : public ISharedLog {
 
   Future<LogPos> AppendInner(std::string payload);
 
+  void RecordFault(FlightEventKind kind, std::string detail, uint64_t index);
+
   std::shared_ptr<ISharedLog> inner_;
   Faults faults_;
   std::shared_ptr<std::atomic<uint64_t>> append_counter_;
   int64_t reorder_hold_timeout_micros_;
+  std::atomic<FlightRecorder*> recorder_{nullptr};
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> faults_fired_{0};
   mutable std::mutex mu_;

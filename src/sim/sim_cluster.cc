@@ -73,6 +73,10 @@ struct SimCluster::Rig {
   bool sabotage = false;
   uint64_t faults_fired_accum = 0;
 
+  // Survives crashes like the append counter: a restarted incarnation keeps
+  // writing into the same ring, so a post-mortem dump spans the crash.
+  std::shared_ptr<FlightRecorder> recorder;
+
   // Live incarnation.
   std::shared_ptr<FaultyLog> log;
   std::unique_ptr<IApplicator> app;
@@ -105,6 +109,12 @@ class SimCluster::Impl {
     std::filesystem::create_directories(run_dir_, ec);
 
     inner_log_ = std::make_shared<InMemoryLog>();
+    // One Tracer per run, shared by every server; its clock (and the
+    // recorders') is a SimClock pinned at zero, so a captured trace carries
+    // no wall time and renders byte-identically across replays of a seed.
+    Tracer::Options tracer_options;
+    tracer_options.clock = &trace_clock_;
+    tracer_ = std::make_unique<Tracer>(tracer_options);
     rigs_.clear();
     rigs_.resize(static_cast<size_t>(std::max(1, options_.num_servers)));
     for (size_t i = 0; i < rigs_.size(); ++i) {
@@ -113,6 +123,7 @@ class SimCluster::Impl {
       rig.id = "s" + std::to_string(i);
       rig.checkpoint_path = run_dir_ + "/server" + std::to_string(i) + ".ckpt";
       rig.append_counter = std::make_shared<std::atomic<uint64_t>>(0);
+      rig.recorder = std::make_shared<FlightRecorder>(4096, &trace_clock_);
     }
     for (const FaultEvent& event : plan.events) {
       if (event.server >= rigs_.size()) {
@@ -183,6 +194,25 @@ class SimCluster::Impl {
       report.append_faults_fired += rig.faults_fired_accum;
     }
     DrainFatals(report);
+    report.last_trace_id = tracer_->last_trace_id();
+    if (report.last_trace_id != 0) {
+      report.last_trace = tracer_->Render(report.last_trace_id);
+    }
+    if (!report.ok()) {
+      // Failure post-mortem: concatenate every server's ring (servers are
+      // stopped, so the rings are quiescent) and name the newest traced
+      // apply — the proposal in flight when things went wrong.
+      for (Rig& rig : rigs_) {
+        if (rig.recorder == nullptr) {
+          continue;
+        }
+        for (const FlightRecorder::Event& event : rig.recorder->Snapshot()) {
+          report.failing_trace_id = std::max(report.failing_trace_id, event.trace_id);
+        }
+        report.flight_dump +=
+            "== server " + rig.id + " flight recorder ==\n" + rig.recorder->Dump();
+      }
+    }
     rigs_.clear();
     inner_log_.reset();
     std::filesystem::remove_all(run_dir_, ec);
@@ -223,6 +253,7 @@ class SimCluster::Impl {
     faults.crash_at_pos = rig.pending_crashes.empty() ? 0 : rig.pending_crashes.front().pos;
     rig.log = std::make_shared<FaultyLog>(std::move(base_log), std::move(faults),
                                           rig.append_counter);
+    rig.log->set_flight_recorder(rig.recorder.get());
     LocalStore::Options store_options;
     store_options.checkpoint_path = rig.checkpoint_path;
     store_options.tolerate_torn_checkpoint = true;
@@ -238,11 +269,14 @@ class SimCluster::Impl {
       std::lock_guard<std::mutex> lock(fatal_mu_);
       fatal_messages_.push_back("server " + id + " fatal: " + message);
     };
+    base_options.tracer = tracer_.get();
+    base_options.recorder = rig.recorder.get();  // null for the ref rig
     rig.server = std::make_unique<ClusterServer>(rig.id, rig.log, std::move(store),
                                                  std::move(base_options));
     BuildShape(*rig.server);
     if (options_.shape == StackShape::kZelos) {
       auto app = std::make_unique<zelos::ZelosApplicator>();
+      app->set_metrics(rig.server->metrics());
       rig.zelos_app = app.get();
       rig.server->top()->RegisterUpcall(app.get());
       rig.app = std::move(app);
@@ -543,6 +577,8 @@ class SimCluster::Impl {
 
   SimOptions options_;
   InMemoryBackupStore backup_;
+  SimClock trace_clock_;  // pinned at zero: logical time for trace artifacts
+  std::unique_ptr<Tracer> tracer_;
   uint64_t run_counter_ = 0;
   std::string run_dir_;
   std::shared_ptr<InMemoryLog> inner_log_;

@@ -72,6 +72,14 @@ struct RunReport {
   // identical report.
   std::vector<std::string> failures;
 
+  // Post-mortem observability. Deliberately excluded from Summary() and the
+  // failure strings: the verdict stays schedule-determined while these carry
+  // the full diagnostic state.
+  uint64_t last_trace_id = 0;     // most recent trace id the run assigned
+  std::string last_trace;         // Tracer::Render of that trace
+  uint64_t failing_trace_id = 0;  // newest traced apply anywhere, failures only
+  std::string flight_dump;        // per-server ring dumps, failures only
+
   bool ok() const { return failures.empty(); }
   std::string Summary() const;
 };

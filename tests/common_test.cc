@@ -255,6 +255,111 @@ TEST(MetricsTest, HistogramLargeValues) {
   EXPECT_GE(hist.Percentile(50), 45'000'000);
 }
 
+TEST(MetricsTest, HistogramPercentileOnEmptyAndSingleSample) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Percentile(0), 0);
+  EXPECT_EQ(hist.Percentile(50), 0);
+  EXPECT_EQ(hist.Percentile(100), 0);
+  EXPECT_EQ(hist.Mean(), 0.0);
+  EXPECT_EQ(hist.Max(), 0);
+
+  hist.Record(7);
+  EXPECT_EQ(hist.count(), 1u);
+  // One sample: every percentile lands in its (exact, linear) bucket.
+  EXPECT_EQ(hist.Percentile(1), 7);
+  EXPECT_EQ(hist.Percentile(50), 7);
+  EXPECT_EQ(hist.Percentile(100), 7);
+  EXPECT_EQ(hist.Max(), 7);
+}
+
+TEST(MetricsTest, HistogramMergeDisjointRanges) {
+  Histogram low;
+  Histogram high;
+  for (int i = 1; i <= 10; ++i) {
+    low.Record(i);                 // 1..10 us
+    high.Record(100'000 + i);      // ~100 ms
+  }
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 20u);
+  // The merged distribution is bimodal: the lower quartile stays in the
+  // linear buckets, the upper quartile in the high range, nothing between.
+  EXPECT_LE(low.Percentile(25), 10);
+  EXPECT_GE(low.Percentile(75), 90'000);
+  EXPECT_EQ(low.Max(), 100'010);
+  EXPECT_NEAR(low.Mean(), (5.5 + 100'005.5) / 2, 1.0);
+}
+
+TEST(MetricsTest, HistogramValuesAboveBucketCapClampButKeepExactMax) {
+  Histogram hist;
+  const int64_t huge = int64_t{10'000'000'000};  // ~2.8 hours, above 2^31 us
+  hist.Record(huge);
+  EXPECT_EQ(hist.count(), 1u);
+  // Bucketed percentiles saturate at the top bucket's upper bound...
+  EXPECT_EQ(hist.Percentile(50), (int64_t{1} << 31) - 1);
+  // ...while Max and the mean keep the exact value.
+  EXPECT_EQ(hist.Max(), huge);
+  EXPECT_NEAR(hist.Mean(), static_cast<double>(huge), 1.0);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecordVersusMerge) {
+  Histogram src;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&src, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        src.Record(t * 1000 + (i % 997));
+      }
+    });
+  }
+  // Merge while the writers hammer the source: every snapshot must be
+  // internally sane even though it is not a point-in-time cut.
+  for (int round = 0; round < 50; ++round) {
+    Histogram snapshot;
+    snapshot.Merge(src);
+    EXPECT_LE(snapshot.count(), uint64_t{kThreads} * kPerThread);
+    EXPECT_LE(snapshot.Percentile(50), snapshot.Percentile(99));
+    EXPECT_GE(snapshot.Mean(), 0.0);
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  Histogram final_merge;
+  final_merge.Merge(src);
+  EXPECT_EQ(final_merge.count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(final_merge.Max(), src.Max());
+}
+
+TEST(MetricsTest, GaugeSetAddResetMerge) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+
+  Gauge other;
+  other.Set(5);
+  gauge.Merge(other);  // fleet aggregation sums per-server gauges
+  EXPECT_EQ(gauge.value(), 12);
+
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.Add(-4);  // gauges go negative (e.g. lag measured the other way)
+  EXPECT_EQ(gauge.value(), -4);
+}
+
+TEST(MetricsTest, GaugeRendersInBothExpositionFormats) {
+  MetricsRegistry registry;
+  registry.GetGauge("queue.depth")->Set(-3);
+  EXPECT_NE(registry.Render().find("queue.depth gauge=-3"), std::string::npos);
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("queue_depth -3"), std::string::npos);
+}
+
 TEST(MetricsTest, RegistryCreatesLazily) {
   MetricsRegistry registry;
   Counter* c = registry.GetCounter("ops");

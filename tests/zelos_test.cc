@@ -36,6 +36,7 @@ class ZelosTest : public testing::Test {
   ZelosTest() {
     log_ = std::make_shared<InMemoryLog>();
     base_ = std::make_unique<BaseEngine>(log_, &store_, BaseEngineOptions{});
+    applicator_.set_metrics(&metrics_);
     base_->RegisterUpcall(&applicator_);
     base_->Start();
     client_ = std::make_unique<ZelosClient>(base_.get(), &applicator_);
@@ -45,6 +46,7 @@ class ZelosTest : public testing::Test {
 
   std::shared_ptr<InMemoryLog> log_;
   LocalStore store_;
+  MetricsRegistry metrics_;
   ZelosApplicator applicator_;
   std::unique_ptr<BaseEngine> base_;
   std::unique_ptr<ZelosClient> client_;
@@ -111,6 +113,18 @@ TEST_F(ZelosTest, EphemeralsDieWithSession) {
   EXPECT_TRUE(client_->Exists("/persistent").has_value());
   // Ops on the dead session now fail.
   EXPECT_THROW(client_->Create(other, "/more", "x", kEphemeral), SessionExpiredError);
+}
+
+TEST_F(ZelosTest, OpenSessionsGaugeTracksLifecycle) {
+  Gauge* gauge = metrics_.GetGauge("zelos.open_sessions");
+  EXPECT_EQ(gauge->value(), 1);  // the fixture's session
+  const SessionId other = client_->CreateSession();
+  EXPECT_EQ(gauge->value(), 2);
+  client_->CloseSession(other);
+  EXPECT_EQ(gauge->value(), 1);
+  // Closing twice is idempotent: the gauge must not double-decrement.
+  client_->CloseSession(other);
+  EXPECT_EQ(gauge->value(), 1);
 }
 
 TEST_F(ZelosTest, EphemeralsCannotHaveChildren) {
