@@ -16,6 +16,7 @@
 #include "src/common/trace.h"
 #include "src/core/cluster.h"
 #include "src/engines/stacks.h"
+#include "src/net/admin_server.h"
 
 using namespace delos;
 using namespace delos::bench;
@@ -97,5 +98,22 @@ int main() {
   const size_t kTail = 1200;
   std::printf("%s\n", dump.size() > kTail ? dump.substr(dump.size() - kTail).c_str()
                                           : dump.c_str());
+
+  // The same data a production scraper would pull: serve the admin endpoint
+  // on an ephemeral loopback port and fetch /healthz + /metrics over HTTP.
+  AdminServer admin{AdminEndpoint(&cluster.server(0))};
+  if (admin.Start()) {
+    int status = 0;
+    std::string body;
+    if (AdminHttpGet("127.0.0.1", admin.port(), "/healthz", &status, &body)) {
+      std::printf("\n--- GET 127.0.0.1:%u/healthz -> HTTP %d ---\n%s", admin.port(), status,
+                  body.c_str());
+    }
+    if (AdminHttpGet("127.0.0.1", admin.port(), "/metrics", &status, &body)) {
+      std::printf("--- GET /metrics -> HTTP %d (%zu bytes of Prometheus exposition) ---\n",
+                  status, body.size());
+    }
+    admin.Stop();
+  }
   return 0;
 }

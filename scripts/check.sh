@@ -9,6 +9,9 @@
 #                                   # with the given randomized schedule count
 #   scripts/check.sh --obs          # observability suite only (label `obs`):
 #                                   # end-to-end tracing + flight recorder
+#   scripts/check.sh --health       # health-plane suite only (label `health`):
+#                                   # time-series metrics, watchdogs, admin
+#                                   # endpoint, deterministic stall detection
 #
 # The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
 # count (default 200). Sanitizer suites run with a reduced count — each
@@ -52,9 +55,18 @@ if [[ "${1:-}" == "--obs" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--health" ]]; then
+  echo "== health-plane suite (time-series metrics + watchdogs + admin endpoint) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build -L health --output-on-failure -j "$JOBS"
+  echo "check.sh: health-plane suite passed"
+  exit 0
+fi
+
 SAN="${1:-}"
 if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', or '--obs')" >&2
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', or '--health')" >&2
   exit 2
 fi
 

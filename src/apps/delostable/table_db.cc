@@ -201,6 +201,30 @@ std::any TableApplicator::WriteRowOp(RWTxn& txn, OpReader& op, bool upsert) {
 }
 
 std::any TableApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
+  try {
+    std::any result = ApplyImpl(txn, entry, pos);
+    failure_streak_.store(0, std::memory_order_relaxed);
+    return result;
+  } catch (const DeterministicError&) {
+    failure_streak_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+HealthReport TableApplicator::HealthCheck() const {
+  const uint64_t streak = failure_streak_.load(std::memory_order_relaxed);
+  HealthReport report{"delostable", HealthState::kOk, "", static_cast<int64_t>(streak)};
+  if (streak >= 256) {
+    report.state = HealthState::kUnhealthy;
+    report.reason = std::to_string(streak) + " consecutive deterministic apply failures";
+  } else if (streak >= 64) {
+    report.state = HealthState::kDegraded;
+    report.reason = std::to_string(streak) + " consecutive deterministic apply failures";
+  }
+  return report;
+}
+
+std::any TableApplicator::ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   if (entry.payload.empty()) {
     return std::any(Unit{});  // Engine-internal entry that reached the top.
   }

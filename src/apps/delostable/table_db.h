@@ -11,6 +11,7 @@
 // semantics of §3.4.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,6 +20,7 @@
 #include "src/apps/app_base.h"
 #include "src/apps/delostable/value.h"
 #include "src/core/engine.h"
+#include "src/core/health.h"
 
 namespace delos::table {
 
@@ -79,9 +81,13 @@ Row ReadRow(Deserializer& de);
 
 // --- Applicator ---
 
-class TableApplicator : public IApplicator {
+class TableApplicator : public IApplicator, public IHealthCheckable {
  public:
   std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override;
+
+  // IHealthCheckable: judges the streak of consecutive deterministic apply
+  // failures (see ZelosApplicator::HealthCheck for the rationale).
+  HealthReport HealthCheck() const override;
 
   // Key layout helpers (shared with the read path in TableClient).
   static std::string MetaKey(const std::string& table);
@@ -93,6 +99,7 @@ class TableApplicator : public IApplicator {
                                  const Value& value);
 
  private:
+  std::any ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos);
   TableSchema LoadSchema(RWTxn& txn, const std::string& table);
   void InsertOrUpsertRow(RWTxn& txn, const std::string& table, const Row& row, bool upsert);
   void UpdateRow(RWTxn& txn, const std::string& table, const Value& pk, const Row& changes);
@@ -101,6 +108,9 @@ class TableApplicator : public IApplicator {
   void PutIndexEntries(RWTxn& txn, const TableSchema& schema, const Row& row);
   void DeleteIndexEntries(RWTxn& txn, const TableSchema& schema, const Row& row);
   std::any WriteRowOp(RWTxn& txn, OpReader& op, bool upsert);
+
+  // Consecutive deterministic apply failures (reset on success).
+  std::atomic<uint64_t> failure_streak_{0};
 };
 
 // --- Wrapper ---

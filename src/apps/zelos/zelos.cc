@@ -277,11 +277,32 @@ std::any ZelosApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   // events are trimmed and never fire.
   const size_t event_mark = pending_events_.size();
   try {
-    return ApplyOp(txn, entry, pos);
+    std::any result = ApplyOp(txn, entry, pos);
+    failure_streak_.store(0, std::memory_order_relaxed);
+    return result;
+  } catch (const DeterministicError&) {
+    pending_events_.resize(event_mark);
+    failure_streak_.fetch_add(1, std::memory_order_relaxed);
+    throw;
   } catch (...) {
     pending_events_.resize(event_mark);
     throw;
   }
+}
+
+HealthReport ZelosApplicator::HealthCheck() const {
+  const uint64_t streak = failure_streak_.load(std::memory_order_relaxed);
+  HealthReport report{"zelos", HealthState::kOk, "", static_cast<int64_t>(streak)};
+  // Thresholds: a handful of consecutive rejections is normal contention; a
+  // long unbroken run means nothing is committing.
+  if (streak >= 256) {
+    report.state = HealthState::kUnhealthy;
+    report.reason = std::to_string(streak) + " consecutive deterministic apply failures";
+  } else if (streak >= 64) {
+    report.state = HealthState::kDegraded;
+    report.reason = std::to_string(streak) + " consecutive deterministic apply failures";
+  }
+  return report;
 }
 
 std::any ZelosApplicator::ApplyOp(RWTxn& txn, const LogEntry& entry, LogPos pos) {

@@ -14,6 +14,7 @@
 //    rolls back the whole apply sub-transaction (§3.4).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include "src/apps/app_base.h"
 #include "src/common/metrics.h"
 #include "src/core/engine.h"
+#include "src/core/health.h"
 
 namespace delos::zelos {
 
@@ -90,9 +92,15 @@ using WatchCallback = std::function<void(const WatchEvent&)>;
 
 // --- Applicator ---
 
-class ZelosApplicator : public IApplicator {
+class ZelosApplicator : public IApplicator, public IHealthCheckable {
  public:
   std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override;
+
+  // IHealthCheckable: a single deterministic failure is a normal client
+  // error (bad version, no node); a long unbroken streak of them means every
+  // write is bouncing — systematic misuse or corrupt state. Registered with
+  // the server's watchdog via RegisterHealthTarget.
+  HealthReport HealthCheck() const override;
   // Triggers one-shot watches for the entry's effects (soft state).
   void PostApply(const LogEntry& entry, LogPos pos) override;
 
@@ -148,6 +156,10 @@ class ZelosApplicator : public IApplicator {
   std::vector<WatchEvent> pending_events_;
 
   Gauge* open_sessions_gauge_ = nullptr;
+
+  // Consecutive deterministic apply failures (reset on any success); read by
+  // HealthCheck from the watchdog thread.
+  std::atomic<uint64_t> failure_streak_{0};
 
   std::mutex watch_mu_;
   std::map<std::string, std::vector<WatchCallback>> data_watches_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/clock.h"
+#include "src/common/metrics_ts.h"
 
 namespace delos {
 
@@ -90,6 +91,47 @@ void Histogram::Reset() {
   total_count_.store(0, std::memory_order_relaxed);
   total_sum_.store(0, std::memory_order_relaxed);
   max_seen_.store(0, std::memory_order_relaxed);
+}
+
+Histogram::CumulativeSnapshot Histogram::Snapshot() const {
+  CumulativeSnapshot snapshot;
+  snapshot.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = total_count_.load(std::memory_order_relaxed);
+  snapshot.sum = total_sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+int64_t Histogram::PercentileOfBuckets(const std::vector<uint64_t>& buckets, double p) {
+  uint64_t total = 0;
+  for (const uint64_t b : buckets) {
+    total += b;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total)));
+  uint64_t seen = 0;
+  const int n = static_cast<int>(std::min<size_t>(buckets.size(), kBuckets));
+  for (int i = 0; i < n; ++i) {
+    seen += buckets[i];
+    if (seen >= target && seen > 0) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(n - 1);
+}
+
+int64_t Histogram::MaxOfBuckets(const std::vector<uint64_t>& buckets) {
+  const int n = static_cast<int>(std::min<size_t>(buckets.size(), kBuckets));
+  for (int i = n - 1; i >= 0; --i) {
+    if (buckets[i] != 0) {
+      return BucketUpperBound(i);
+    }
+  }
+  return 0;
 }
 
 void Histogram::Merge(const Histogram& other) {
@@ -182,11 +224,7 @@ std::string MetricsRegistry::Render() const {
   return out.str();
 }
 
-namespace {
-
-// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
-// ("base.apply.batch_size") map dots and dashes to underscores.
-std::string SanitizeMetricName(const std::string& name) {
+std::string PrometheusName(const std::string& name) {
   std::string sanitized = name;
   for (char& c : sanitized) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -195,26 +233,49 @@ std::string SanitizeMetricName(const std::string& name) {
       c = '_';
     }
   }
+  // The grammar's first character excludes digits ([a-zA-Z_:][a-zA-Z0-9_:]*).
+  if (sanitized.empty() || (sanitized[0] >= '0' && sanitized[0] <= '9')) {
+    sanitized.insert(sanitized.begin(), '_');
+  }
   return sanitized;
 }
 
-}  // namespace
+std::string PrometheusLabelValue(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
 
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   for (const auto& [name, counter] : counters_) {
-    const std::string pname = SanitizeMetricName(name);
+    const std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " counter\n";
     out << pname << " " << counter->value() << "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    const std::string pname = SanitizeMetricName(name);
+    const std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " gauge\n";
     out << pname << " " << gauge->value() << "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
-    const std::string pname = SanitizeMetricName(name);
+    const std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " summary\n";
     out << pname << "{quantile=\"0.5\"} " << histogram->Percentile(50) << "\n";
     out << pname << "{quantile=\"0.99\"} " << histogram->Percentile(99) << "\n";
@@ -224,6 +285,30 @@ std::string MetricsRegistry::RenderPrometheus() const {
     out << pname << "_count " << histogram->count() << "\n";
   }
   return out.str();
+}
+
+void MetricsRegistry::SnapshotInto(TimeSeriesStore& store, int64_t now_micros) const {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, TimeSeriesStore::Cumulative::Hist> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters[name] = counter->value();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauges[name] = gauge->value();
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      Histogram::CumulativeSnapshot snapshot = histogram->Snapshot();
+      TimeSeriesStore::Cumulative::Hist hist;
+      hist.buckets = std::move(snapshot.buckets);
+      hist.count = snapshot.count;
+      hist.sum = snapshot.sum;
+      histograms[name] = std::move(hist);
+    }
+  }
+  store.Commit(now_micros, std::move(counters), std::move(gauges), std::move(histograms));
 }
 
 ScopedLatencyTimer::ScopedLatencyTimer(Histogram* histogram)

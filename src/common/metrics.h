@@ -16,6 +16,19 @@
 
 namespace delos {
 
+class TimeSeriesStore;
+
+// Prometheus exposition helpers (shared by RenderPrometheus, the health
+// plane's labeled samples, and the exposition lint test).
+//
+// Maps an internal dotted name onto the exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*: invalid characters become '_' and a leading
+// digit is prefixed with '_'.
+std::string PrometheusName(const std::string& name);
+// Escapes a label value per the exposition format: backslash, double quote,
+// and newline become \\, \", and \n.
+std::string PrometheusLabelValue(const std::string& value);
+
 class Counter {
  public:
   void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
@@ -59,6 +72,22 @@ class Histogram {
   // Adds other's samples into this histogram.
   void Merge(const Histogram& other);
 
+  // Cumulative reading for windowed time-series snapshots (metrics_ts):
+  // the full bucket vector plus count/sum, so per-window percentiles can be
+  // computed from bucket deltas.
+  struct CumulativeSnapshot {
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    int64_t sum = 0;
+  };
+  CumulativeSnapshot Snapshot() const;
+
+  // Approximate percentile over a raw bucket-count vector (e.g. the delta
+  // between two CumulativeSnapshots). Returns 0 for an empty vector.
+  static int64_t PercentileOfBuckets(const std::vector<uint64_t>& buckets, double p);
+  // Upper bound of the highest non-empty bucket (a window's max estimate).
+  static int64_t MaxOfBuckets(const std::vector<uint64_t>& buckets);
+
  private:
   // 32 linear buckets + 16 sub-buckets per power of two up to 2^31 µs
   // (~36 minutes).
@@ -91,8 +120,15 @@ class MetricsRegistry {
 
   // Prometheus-style text exposition: one "# TYPE" comment per metric,
   // counters/gauges as bare samples, histograms as summaries (quantile
-  // series plus _sum/_count). Metric names are sanitized to [a-zA-Z0-9_:].
+  // series plus _sum/_count). Metric names are sanitized via
+  // PrometheusName and label values escaped via PrometheusLabelValue.
   std::string RenderPrometheus() const;
+
+  // Closes one time-series window: reads every registered metric's current
+  // cumulative value and commits the delta since the previous snapshot into
+  // `store` (see metrics_ts.h). `now_micros` comes from the caller's
+  // (injected) clock so the series is deterministic under the simulator.
+  void SnapshotInto(TimeSeriesStore& store, int64_t now_micros) const;
 
  private:
   mutable std::mutex mu_;

@@ -119,6 +119,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "trim";
     case FlightEventKind::kNet:
       return "net";
+    case FlightEventKind::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -133,11 +135,28 @@ void FlightRecorder::Record(FlightEventKind kind, std::string_view detail, uint6
   const int64_t now = clock_->NowMicros();
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[seq & mask_];
-  // Odd version marks the slot as mid-write; readers racing us skip it. A
-  // slower writer lapped by a faster one can interleave stores, in which
-  // case the version check makes the reader discard the slot — events are
-  // best-effort once the ring wraps within a snapshot.
-  slot.version.store(2 * seq + 1, std::memory_order_release);
+  // Claim the slot by CAS-ing its version to our odd (mid-write) value. Two
+  // writers can hold sequence numbers that map to the same slot when the
+  // ring wraps within the duration of one Record; without the claim, the
+  // slower writer's stores could interleave with the faster one's and then
+  // publish an even version over the torn payload — a tear the reader's
+  // version check cannot detect. The claim makes ownership exclusive: if the
+  // slot is mid-write (odd) or already carries a claim/publish newer than
+  // ours, we are the lapped writer and drop the event (writers never wait;
+  // losing an event when the ring wraps faster than one store sequence is
+  // the documented best-effort contract).
+  const uint64_t claim = 2 * seq + 1;
+  uint64_t expected = slot.version.load(std::memory_order_relaxed);
+  do {
+    if ((expected & 1) != 0 || expected > claim) {
+      return;
+    }
+  } while (!slot.version.compare_exchange_weak(expected, claim, std::memory_order_acq_rel,
+                                               std::memory_order_relaxed));
+  // Seqlock write side: the release fence orders the odd claim before the
+  // payload stores, so a reader that observes any of our payload observes
+  // the odd version on its re-check.
+  std::atomic_thread_fence(std::memory_order_release);
   slot.micros.store(now, std::memory_order_relaxed);
   slot.trace_id.store(trace_id, std::memory_order_relaxed);
   slot.a.store(a, std::memory_order_relaxed);
@@ -179,7 +198,11 @@ std::vector<FlightRecorder::Event> FlightRecorder::Snapshot() const {
       std::memcpy(buffer + w * sizeof(uint64_t), &word, sizeof(uint64_t));
     }
     event.detail.assign(buffer, len);
-    const uint64_t v2 = slot.version.load(std::memory_order_acquire);
+    // Seqlock read side: the acquire fence orders the payload loads above
+    // before the version re-read, closing the window where a torn payload
+    // could pass a reordered version check.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t v2 = slot.version.load(std::memory_order_relaxed);
     if (v1 != v2) {
       continue;  // overwritten while we read it
     }

@@ -111,6 +111,7 @@ enum class FlightEventKind : uint8_t {
   kFlush = 8,       // LocalStore checkpoint flushed (a = durable pos)
   kTrim = 9,        // log trimmed (a = new trim prefix)
   kNet = 10,        // network-level event (drop, partition)
+  kHealth = 11,     // watchdog health transition (a = new state, b = value)
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -47,6 +47,9 @@ BaseEngine::BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store,
       store_(store),
       options_(std::move(options)),
       cursor_key_("e/base/cursor") {
+  if (options_.clock == nullptr) {
+    options_.clock = RealClock::Instance();
+  }
   // Instance id: server id plus a random suffix, regenerated per process
   // incarnation.
   Rng rng(static_cast<uint64_t>(RealClock::Instance()->NowMicros()) ^
@@ -76,6 +79,7 @@ void BaseEngine::Start() {
     applied_pos_.store(cursor.has_value() ? DecodePos(*cursor) : 0, std::memory_order_release);
     durable_pos_.store(applied_pos_.load(), std::memory_order_release);
   }
+  last_progress_micros_.store(options_.clock->NowMicros(), std::memory_order_relaxed);
   apply_thread_ = std::thread([this] { ApplyThreadMain(); });
   sync_thread_ = std::thread([this] { SyncThreadMain(); });
   housekeeping_thread_ = std::thread([this] { HousekeepingThreadMain(); });
@@ -237,13 +241,21 @@ void BaseEngine::SetTrimPrefix(LogPos pos) {
 
 void BaseEngine::RequestPlayTo(LogPos pos) {
   LogPos target;
+  LogPos old_target;
   {
     std::lock_guard<std::mutex> lock(apply_mu_);
+    old_target = play_target_;
     play_target_ = std::max(play_target_, pos);
     target = play_target_;
   }
+  const LogPos applied = applied_pos_.load(std::memory_order_acquire);
+  // Restart the stall timer when the target rises above the cursor after an
+  // idle (lag == 0) stretch — otherwise the first proposal after a long idle
+  // period would instantly read as an ancient stall.
+  if (old_target <= applied && target > applied) {
+    last_progress_micros_.store(options_.clock->NowMicros(), std::memory_order_relaxed);
+  }
   if (lag_gauge_ != nullptr) {
-    const LogPos applied = applied_pos_.load(std::memory_order_acquire);
     lag_gauge_->Set(target > applied ? static_cast<int64_t>(target - applied) : 0);
   }
   apply_cv_.notify_all();
@@ -465,6 +477,7 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
   // check-then-wait so the broadcast cannot land in its window; it also
   // snapshots play_target_ for the lag gauge.
   applied_pos_.store(batch_last, std::memory_order_release);
+  last_progress_micros_.store(options_.clock->NowMicros(), std::memory_order_relaxed);
   LogPos play_target_snapshot;
   {
     std::lock_guard<std::mutex> lock(apply_mu_);
@@ -603,6 +616,43 @@ void BaseEngine::TrimNow() {
       options_.recorder->Record(FlightEventKind::kTrim, "", 0, effective);
     }
   }
+}
+
+HealthReport BaseEngine::HealthCheck() const {
+  const LogPos applied = applied_pos_.load(std::memory_order_acquire);
+  LogPos target;
+  {
+    std::lock_guard<std::mutex> lock(apply_mu_);
+    target = play_target_;
+  }
+  const int64_t lag = target > applied ? static_cast<int64_t>(target - applied) : 0;
+  HealthReport report{"base", HealthState::kOk, "", lag};
+  if (lag > 0) {
+    const int64_t stalled =
+        options_.clock->NowMicros() - last_progress_micros_.load(std::memory_order_relaxed);
+    if (stalled >= options_.health_stall_unhealthy_micros) {
+      report.state = HealthState::kUnhealthy;
+      report.reason = "apply stalled " + std::to_string(stalled) + "us behind target (lag " +
+                      std::to_string(lag) + ")";
+      report.value = stalled;
+      return report;
+    }
+    if (stalled >= options_.health_stall_degraded_micros) {
+      report.state = HealthState::kDegraded;
+      report.reason = "apply lagging " + std::to_string(lag) + " positions for " +
+                      std::to_string(stalled) + "us";
+      report.value = stalled;
+      return report;
+    }
+  }
+  const LogPos durable = durable_pos_.load(std::memory_order_acquire);
+  const int64_t backlog = applied > durable ? static_cast<int64_t>(applied - durable) : 0;
+  if (backlog > options_.health_flush_backlog_positions) {
+    report.state = HealthState::kDegraded;
+    report.reason = "flush backlog " + std::to_string(backlog) + " positions";
+    report.value = backlog;
+  }
+  return report;
 }
 
 void BaseEngine::Fatal(const std::string& message) {

@@ -37,6 +37,7 @@
 #include "src/common/trace.h"
 #include "src/core/apply_profiler.h"
 #include "src/core/engine.h"
+#include "src/core/health.h"
 
 namespace delos {
 
@@ -44,6 +45,18 @@ struct BaseEngineOptions {
   std::string server_id = "server0";
   int64_t flush_interval_micros = 50'000;
   int64_t trim_interval_micros = 200'000;
+  // Clock used for health-stall arithmetic (last-progress stamps). Defaults
+  // to RealClock; the simulator injects its SimClock so stall detection is a
+  // function of simulated time. Apply-path busy/latency instrumentation
+  // stays on RealClock (it measures real work).
+  Clock* clock = nullptr;
+  // HealthCheck thresholds: how long the apply cursor may sit behind a
+  // raised play target with zero progress before the engine reports
+  // DEGRADED / UNHEALTHY, and how many applied-but-not-yet-durable log
+  // positions count as a flush backlog (DEGRADED).
+  int64_t health_stall_degraded_micros = 500'000;
+  int64_t health_stall_unhealthy_micros = 1'500'000;
+  int64_t health_flush_backlog_positions = 100'000;
   // Maximum records per group-commit batch (= per LocalStore transaction).
   LogPos play_batch_size = 128;
   // Optional instrumentation.
@@ -73,7 +86,7 @@ struct BaseEngineOptions {
   std::function<bool(LogPos batch_last)> post_commit_crash_hook;
 };
 
-class BaseEngine : public IEngine {
+class BaseEngine : public IEngine, public IHealthCheckable {
  public:
   BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store, BaseEngineOptions options);
   ~BaseEngine() override;
@@ -111,6 +124,12 @@ class BaseEngine : public IEngine {
 
   ISharedLog* shared_log() { return log_.get(); }
   LocalStore* store() { return store_; }
+
+  // IHealthCheckable: judges apply-cursor stall (play target raised but the
+  // cursor has made no progress for the configured thresholds — a wedged log
+  // read or apply thread) and flush backlog (applied far ahead of durable).
+  // Reads soft state only; callable from any thread.
+  HealthReport HealthCheck() const override;
 
  private:
   void ApplyThreadMain();
@@ -160,8 +179,13 @@ class BaseEngine : public IEngine {
   Counter* batches_counter_ = nullptr;
   Gauge* lag_gauge_ = nullptr;
 
+  // Injected-clock time of the last apply progress (batch committed, or the
+  // stall timer restarting because the play target rose above the cursor
+  // after an idle stretch). The watchdog's stall verdict is now minus this.
+  std::atomic<int64_t> last_progress_micros_{0};
+
   std::atomic<bool> shutdown_{false};
-  std::mutex apply_mu_;
+  mutable std::mutex apply_mu_;
   std::condition_variable apply_cv_;      // wakes the apply thread
   std::condition_variable applied_cv_;    // signals playback progress
   LogPos play_target_ = 0;

@@ -23,8 +23,20 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
   }
   recorder_ = base_options.recorder;
   tracer_ = base_options.tracer;
+  if (base_options.clock == nullptr) {
+    base_options.clock = RealClock::Instance();
+  }
+  // The watchdog shares the base engine's clock (real or simulated), the
+  // server's metrics/recorder, and feeds the server's time-series ring.
+  WatchdogOptions watchdog_options;
+  watchdog_options.clock = base_options.clock;
+  watchdog_options.metrics = &metrics_;
+  watchdog_options.recorder = recorder_;
+  watchdog_options.series = &series_;
+  watchdog_ = std::make_unique<Watchdog>(std::move(watchdog_options));
   base_ = std::make_unique<BaseEngine>(log_, store_.get(), std::move(base_options));
   top_ = base_.get();
+  watchdog_->AddTarget(base_.get());
 }
 
 ClusterServer::~ClusterServer() {

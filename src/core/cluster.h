@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics_ts.h"
 #include "src/core/base_engine.h"
+#include "src/core/health.h"
 #include "src/core/stackable_engine.h"
 #include "src/net/sim_network.h"
 #include "src/sharedlog/quorum_loglet.h"
@@ -40,13 +42,22 @@ class ClusterServer {
     // Every engine of this server shares its flight recorder and the
     // cluster's tracer; injected here so stack builders need no plumbing.
     raw->ConfigureObservability(tracer_, recorder_, id_);
+    // And every engine is a watchdog target: its HealthCheck verdict shows
+    // up in /healthz and the health.state gauges without registration code
+    // in the stack builder.
+    watchdog_->AddTarget(raw);
     middle_.push_back(std::move(engine));
     top_ = raw;
     return raw;
   }
 
   void Start() { base_->Start(); }
-  void Stop() { base_->Stop(); }
+  void Stop() {
+    // The watchdog thread (when started) must quiesce before engines die
+    // under its health checks.
+    watchdog_->Stop();
+    base_->Stop();
+  }
 
   const std::string& id() const { return id_; }
   IEngine* top() { return top_; }
@@ -61,12 +72,34 @@ class ClusterServer {
   FlightRecorder* flight_recorder() { return recorder_; }
   Tracer* tracer() { return tracer_; }
 
+  // Health plane. The watchdog holds every engine of this server (base
+  // included) plus any applicator registered via RegisterHealthTarget; it is
+  // NOT auto-started — production callers Start() it for cadence evaluation,
+  // tests and the simulator drive Evaluate() (via CollectHealth) manually.
+  Watchdog* watchdog() { return watchdog_.get(); }
+  TimeSeriesStore* series() { return &series_; }
+  // One watchdog pass: fresh per-component reports (and one closed
+  // time-series window).
+  std::vector<HealthReport> CollectHealth() { return watchdog_->Evaluate(); }
+  // Applications sit above the stack and are not StackableEngines; stack
+  // builders register their applicators here to include them in /healthz.
+  void RegisterHealthTarget(IHealthCheckable* target) { watchdog_->AddTarget(target); }
+
   // The on-demand debug endpoint: Prometheus-style metrics exposition plus
   // the flight-recorder ring.
   std::string DebugDump() const { return delos::DebugDump(&metrics_, recorder_); }
 
   // Finds a middle engine by name (nullptr if absent).
   StackableEngine* FindEngine(const std::string& name);
+  // The middle engines, bottom-up (stack introspection for /stack).
+  std::vector<StackableEngine*> engines() {
+    std::vector<StackableEngine*> result;
+    result.reserve(middle_.size());
+    for (auto& engine : middle_) {
+      result.push_back(engine.get());
+    }
+    return result;
+  }
 
  private:
   friend class Cluster;
@@ -78,6 +111,8 @@ class ClusterServer {
   FlightRecorder own_recorder_;
   FlightRecorder* recorder_ = nullptr;  // = own_recorder_ unless injected
   Tracer* tracer_ = nullptr;
+  TimeSeriesStore series_;
+  std::unique_ptr<Watchdog> watchdog_;
   std::unique_ptr<BaseEngine> base_;
   std::vector<std::unique_ptr<StackableEngine>> middle_;
   IEngine* top_;

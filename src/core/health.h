@@ -1,0 +1,143 @@
+// Per-engine health checks and the stall watchdog.
+//
+// Metrics answer "how much / how fast"; nothing in the stack judges. An
+// apply thread can wedge behind a stuck log read and every counter simply
+// stops moving — no component notices. The health plane adds judgment:
+//
+//  * IHealthCheckable — one virtual, HealthCheck(), returning a
+//    HealthReport {component, OK|DEGRADED|UNHEALTHY, reason, measurement}.
+//    Every StackableEngine implements it (default OK); BaseEngine judges
+//    apply-cursor lag vs. the play target and flush backlog, Batching judges
+//    open-batch age, SessionOrder judges the oldest gap-parked proposal,
+//    Lease judges expiry-without-renewal, ViewTracking judges silent
+//    members, and the Zelos/DelosTable applicators judge deterministic
+//    failure streaks. Checks read soft state under the engine's existing
+//    locks — never the LocalStore — so they are cheap and safe from any
+//    thread.
+//
+//  * Watchdog — evaluates a list of checkables on a cadence. Each pass
+//    diffs every component's state against the previous pass: transitions
+//    are recorded into the FlightRecorder (kHealth), counted, surfaced
+//    through `health.state` gauges (0/1/2, per component and aggregate), and
+//    fed to a pluggable callback (the simulator asserts detection bounds on
+//    it; a production deployment would page or trigger BrainDoctor repair).
+//    Each pass also closes one time-series window (SnapshotInto) so window
+//    cadence == health cadence. Timestamps come from the injected Clock;
+//    under the simulator, tests call Evaluate() directly instead of
+//    Start()'s real-time thread, so detection latency is measured in
+//    deterministic windows, not wall seconds.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace delos {
+
+class FlightRecorder;
+class MetricsRegistry;
+class TimeSeriesStore;
+
+enum class HealthState : uint8_t {
+  kOk = 0,
+  kDegraded = 1,   // making progress but outside normal bounds
+  kUnhealthy = 2,  // stalled / wedged; operator or repair action needed
+};
+
+const char* HealthStateName(HealthState state);
+
+struct HealthReport {
+  std::string component;
+  HealthState state = HealthState::kOk;
+  std::string reason;  // empty when OK
+  int64_t value = 0;   // measurement behind the verdict (lag entries, age us)
+};
+
+// Worst state across reports (OK when empty).
+HealthState AggregateHealth(const std::vector<HealthReport>& reports);
+
+// JSON array of reports: [{"component":...,"state":...,"reason":...,
+// "value":...}] — the /healthz body.
+std::string RenderHealthJson(const std::vector<HealthReport>& reports);
+
+class IHealthCheckable {
+ public:
+  virtual ~IHealthCheckable() = default;
+  virtual HealthReport HealthCheck() const = 0;
+};
+
+struct WatchdogOptions {
+  Clock* clock = nullptr;  // defaults to RealClock; sims inject a SimClock
+  // Optional sinks. `metrics` receives health.state.<component> gauges, the
+  // aggregate health.state gauge, and health.transitions[.non_ok] counters;
+  // `recorder` receives a kHealth event per transition; `series` gets one
+  // window closed (from `metrics`) per evaluation.
+  MetricsRegistry* metrics = nullptr;
+  FlightRecorder* recorder = nullptr;
+  TimeSeriesStore* series = nullptr;
+  // Evaluation cadence of the background thread (Start()). Manual
+  // Evaluate() callers ignore this.
+  int64_t cadence_micros = 250'000;
+  // Fired once per component transition, outside the watchdog lock.
+  std::function<void(const HealthReport& report, HealthState previous)> on_transition;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = WatchdogOptions{});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Targets must outlive the watchdog (or be removed before destruction).
+  // Safe to call while running.
+  void AddTarget(IHealthCheckable* target);
+  void RemoveTarget(IHealthCheckable* target);
+
+  // One evaluation pass: checks every target, records transitions, updates
+  // gauges, closes a time-series window. Returns the fresh reports. Tests
+  // and the simulator call this directly for deterministic cadence.
+  std::vector<HealthReport> Evaluate();
+
+  // Spawns/joins the background cadence thread. Idempotent.
+  void Start();
+  void Stop();
+
+  HealthState aggregate() const;
+  std::vector<HealthReport> last_reports() const;
+  uint64_t evaluations() const;
+  // Total component state transitions seen, and the subset that entered a
+  // non-OK state (the false-positive counter for fault-free sweeps).
+  uint64_t transitions() const;
+  uint64_t non_ok_transitions() const;
+
+ private:
+  void ThreadMain();
+
+  WatchdogOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<IHealthCheckable*> targets_;
+  std::map<std::string, HealthState> previous_;
+  std::vector<HealthReport> last_reports_;
+  HealthState aggregate_ = HealthState::kOk;
+  uint64_t evaluations_ = 0;
+  uint64_t transitions_ = 0;
+  uint64_t non_ok_transitions_ = 0;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace delos

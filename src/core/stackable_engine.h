@@ -27,6 +27,7 @@
 #include "src/common/trace.h"
 #include "src/core/apply_profiler.h"
 #include "src/core/engine.h"
+#include "src/core/health.h"
 
 namespace delos {
 
@@ -84,7 +85,7 @@ struct StackableEngineOptions {
   bool start_enabled = true;
 };
 
-class StackableEngine : public IEngine, public IApplicator {
+class StackableEngine : public IEngine, public IApplicator, public IHealthCheckable {
  public:
   // Registers itself as `downstream`'s applicator.
   StackableEngine(std::string name, IEngine* downstream, LocalStore* store,
@@ -108,6 +109,14 @@ class StackableEngine : public IEngine, public IApplicator {
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   const std::string& name() const { return name_; }
+
+  // IHealthCheckable. Default: an engine with no judged failure mode is OK.
+  // Engines with soft state that can wedge (batching queue, session gaps,
+  // leases, membership) override with a real verdict; checks read soft state
+  // only and are callable from any thread.
+  HealthReport HealthCheck() const override {
+    return HealthReport{name_, HealthState::kOk, "", 0};
+  }
 
   // Wires the tracing/flight-recorder sinks and the server label used on
   // this engine's spans. Called by ClusterServer::AddEngine right after

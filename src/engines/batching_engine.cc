@@ -41,6 +41,9 @@ std::vector<LogEntry> DecodeBatch(const std::string& blob) {
 BatchingEngine::BatchingEngine(Options options, IEngine* downstream, LocalStore* store)
     : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
       options_(options) {
+  if (options_.clock == nullptr) {
+    options_.clock = RealClock::Instance();
+  }
   if (options_.metrics != nullptr) {
     queue_depth_gauge_ = options_.metrics->GetGauge("batching.queue.depth");
   }
@@ -71,6 +74,9 @@ Future<std::any> BatchingEngine::Propose(LogEntry entry) {
   std::unique_lock<std::mutex> lock(mu_);
   batch_entries_.push_back(std::move(entry));
   batch_waiters_.push_back(std::move(waiter));
+  if (batch_entries_.size() == 1) {
+    open_batch_since_micros_ = options_.clock->NowMicros();
+  }
   if (queue_depth_gauge_ != nullptr) {
     queue_depth_gauge_->Set(static_cast<int64_t>(batch_entries_.size()));
   }
@@ -97,6 +103,7 @@ void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
   entries.swap(batch_entries_);
   waiters.swap(batch_waiters_);
   batch_ticket_ += 1;
+  open_batch_since_micros_ = 0;
   if (queue_depth_gauge_ != nullptr) {
     queue_depth_gauge_->Set(0);
   }
@@ -164,6 +171,33 @@ void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
         }
       });
   lock.lock();
+}
+
+HealthReport BatchingEngine::HealthCheck() const {
+  int64_t since;
+  int64_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    since = open_batch_since_micros_;
+    depth = static_cast<int64_t>(batch_entries_.size());
+  }
+  HealthReport report{name(), HealthState::kOk, "", depth};
+  if (depth == 0 || since == 0) {
+    return report;
+  }
+  const int64_t age = options_.clock->NowMicros() - since;
+  if (age >= options_.health_queue_unhealthy_micros) {
+    report.state = HealthState::kUnhealthy;
+    report.reason = "open batch stuck " + std::to_string(age) + "us (" + std::to_string(depth) +
+                    " entries; flush timer or downstream wedged)";
+    report.value = age;
+  } else if (age >= options_.health_queue_degraded_micros) {
+    report.state = HealthState::kDegraded;
+    report.reason = "open batch aged " + std::to_string(age) + "us (" + std::to_string(depth) +
+                    " entries)";
+    report.value = age;
+  }
+  return report;
 }
 
 std::any BatchingEngine::ApplyControl(RWTxn& txn, const EngineHeader& header,

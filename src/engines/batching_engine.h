@@ -30,12 +30,23 @@ class BatchingEngine : public StackableEngine {
     ApplyProfiler* profiler = nullptr;
     MetricsRegistry* metrics = nullptr;
     bool start_enabled = true;
+    // Clock for health math (open-batch age). Defaults to RealClock; the
+    // flush timer itself stays on the TimerScheduler.
+    Clock* clock = nullptr;
+    // An open batch older than these bounds means the flush timer died or
+    // the downstream propose path is wedged — the batch should have flushed
+    // after max_delay_micros.
+    int64_t health_queue_degraded_micros = 100'000;
+    int64_t health_queue_unhealthy_micros = 1'000'000;
   };
 
   BatchingEngine(Options options, IEngine* downstream, LocalStore* store);
   ~BatchingEngine() override;
 
   Future<std::any> Propose(LogEntry entry) override;
+
+  // Judges the age of the open batch (soft state under mu_).
+  HealthReport HealthCheck() const override;
 
   uint64_t batches_proposed() const { return batches_proposed_.load(std::memory_order_relaxed); }
   uint64_t entries_batched() const { return entries_batched_.load(std::memory_order_relaxed); }
@@ -64,10 +75,13 @@ class BatchingEngine : public StackableEngine {
   // Live queue depth ("how full is the open batch right now"), null without
   // a registry.
   Gauge* queue_depth_gauge_ = nullptr;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<LogEntry> batch_entries_;
   std::vector<Waiter> batch_waiters_;
   uint64_t batch_ticket_ = 0;  // identifies the open batch for the timer
+  // Injected-clock time the open batch received its first entry (0 when no
+  // batch is open); HealthCheck's queue-age verdict reads it under mu_.
+  int64_t open_batch_since_micros_ = 0;
   std::atomic<uint64_t> batches_proposed_{0};
   std::atomic<uint64_t> entries_batched_{0};
   TimerScheduler scheduler_;

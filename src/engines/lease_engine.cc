@@ -254,6 +254,43 @@ bool LeaseEngine::TryTakeover() {
   }
 }
 
+HealthReport LeaseEngine::HealthCheck() const {
+  bool held;
+  int64_t valid_until;
+  std::string holder;
+  int64_t observed_at;
+  {
+    std::lock_guard<std::mutex> lock(soft_mu_);
+    held = held_by_self_;
+    valid_until = valid_until_micros_;
+    holder = observed_holder_;
+    observed_at = observed_at_micros_;
+  }
+  HealthReport report{name(), HealthState::kOk, "", 0};
+  const int64_t now = clock_->NowMicros();
+  if (held) {
+    if (now >= valid_until) {
+      const int64_t overdue = now - valid_until;
+      report.state = HealthState::kDegraded;
+      report.reason = "held lease expired " + std::to_string(overdue) +
+                      "us ago without renewal";
+      report.value = overdue;
+    }
+    return report;
+  }
+  if (!holder.empty() && holder != options_.server_id && observed_at > 0) {
+    const int64_t silent = now - observed_at;
+    const int64_t patience = options_.lease_ttl_micros + options_.guard_epsilon_micros;
+    if (silent > patience) {
+      report.state = HealthState::kDegraded;
+      report.reason = "holder " + holder + " silent " + std::to_string(silent) +
+                      "us (takeover candidate)";
+      report.value = silent;
+    }
+  }
+  return report;
+}
+
 void LeaseEngine::RenewLoopMain() {
   const int64_t interval = std::max<int64_t>(options_.lease_ttl_micros / 3, 1000);
   int64_t last_renew = 0;

@@ -74,6 +74,12 @@ class LeaseEngine : public StackableEngine {
   bool HoldsValidLease() const;
   std::string CurrentHolder() const;
 
+  // Judges lease liveness: held-but-expired without renewal (renew loop dead
+  // or propose path wedged), or another holder silent past ttl + epsilon
+  // (takeover candidate). Both are DEGRADED — syncs still work, they just
+  // lose the 0-RTT fast path.
+  HealthReport HealthCheck() const override;
+
  protected:
   void OnPropose(LogEntry* entry) override;
   std::any ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) override;

@@ -58,6 +58,9 @@ constexpr int kMaxAppendRetries = 8;
 SessionOrderEngine::SessionOrderEngine(Options options, IEngine* downstream, LocalStore* store)
     : StackableEngine(kEngineName, downstream, store, MakeStackOptions(options)),
       options_(std::move(options)) {
+  if (options_.clock == nullptr) {
+    options_.clock = RealClock::Instance();
+  }
   Rng rng(static_cast<uint64_t>(RealClock::Instance()->NowMicros()) ^
           Fnv1a64(options_.server_id) ^ 0x5e55104uLL);
   session_id_ = options_.server_id + "#" + rng.String(8);
@@ -87,7 +90,8 @@ Future<std::any> SessionOrderEngine::Propose(LogEntry entry) {
     seq = next_seq_++;
     entry.SetHeader(name(), EngineHeader{kMsgTypeApp, EncodeSessionHeader(session_id_, seq)});
     stamped = entry;
-    pending_.emplace(seq, PendingPropose{entry, promise});
+    pending_.emplace(seq,
+                     PendingPropose{entry, promise, 0, options_.clock->NowMicros()});
   }
   // The sub-stack's return value is ignored: this propose is completed from
   // postApply when its sequence number applies in order. Append failures are
@@ -236,6 +240,36 @@ void SessionOrderEngine::ReproposeFrom(uint64_t first_seq) {
   for (auto& [seq, entry] : to_repropose) {
     ProposeStamped(std::move(entry), seq);
   }
+}
+
+HealthReport SessionOrderEngine::HealthCheck() const {
+  int64_t oldest = 0;
+  int64_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    depth = static_cast<int64_t>(pending_.size());
+    // pending_ is keyed by seq; the lowest seq is the oldest stamp.
+    if (!pending_.empty()) {
+      oldest = pending_.begin()->second.stamped_micros;
+    }
+  }
+  HealthReport report{name(), HealthState::kOk, "", depth};
+  if (depth == 0) {
+    return report;
+  }
+  const int64_t age = options_.clock->NowMicros() - oldest;
+  if (age >= options_.health_pending_unhealthy_micros) {
+    report.state = HealthState::kUnhealthy;
+    report.reason = "oldest pending seq stalled " + std::to_string(age) + "us (" +
+                    std::to_string(depth) + " pending; session-sequence hole)";
+    report.value = age;
+  } else if (age >= options_.health_pending_degraded_micros) {
+    report.state = HealthState::kDegraded;
+    report.reason = "oldest pending seq waiting " + std::to_string(age) + "us (" +
+                    std::to_string(depth) + " pending)";
+    report.value = age;
+  }
+  return report;
 }
 
 uint64_t SessionOrderEngine::disorder_events() const {

@@ -34,11 +34,22 @@ class SessionOrderEngine : public StackableEngine {
     ApplyProfiler* profiler = nullptr;
     MetricsRegistry* metrics = nullptr;
     bool start_enabled = true;
+    // Clock for health math (oldest-pending age). Defaults to RealClock.
+    Clock* clock = nullptr;
+    // A proposal pending longer than these bounds means its seq never
+    // applied — a session-sequence hole the retries failed to plug, or a
+    // wedged sub-stack.
+    int64_t health_pending_degraded_micros = 1'000'000;
+    int64_t health_pending_unhealthy_micros = 5'000'000;
   };
 
   SessionOrderEngine(Options options, IEngine* downstream, LocalStore* store);
 
   Future<std::any> Propose(LogEntry entry) override;
+
+  // Judges the age of the oldest pending (stamped, not yet applied-in-order)
+  // proposal.
+  HealthReport HealthCheck() const override;
 
   // Observability: disorder events detected (gaps) and duplicates filtered.
   uint64_t disorder_events() const;
@@ -54,6 +65,8 @@ class SessionOrderEngine : public StackableEngine {
     std::shared_ptr<Promise<std::any>> promise;
     // Sub-stack append failures survived so far (see ProposeStamped).
     int append_retries = 0;
+    // Injected-clock time the proposal was stamped (HealthCheck age base).
+    int64_t stamped_micros = 0;
   };
 
   enum class Outcome { kNone, kApplied, kDuplicate, kGap };
@@ -84,7 +97,7 @@ class SessionOrderEngine : public StackableEngine {
   // previous life never interleave with this life's sequence space.
   std::string session_id_;
 
-  std::mutex pending_mu_;
+  mutable std::mutex pending_mu_;
   std::map<uint64_t, PendingPropose> pending_;
   uint64_t next_seq_ = 1;
 

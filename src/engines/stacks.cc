@@ -85,6 +85,7 @@ void BuildStack(ClusterServer& server, const StackConfig& config) {
   if (config.session_order) {
     SessionOrderEngine::Options options;
     options.server_id = server.id();
+    options.clock = config.clock;
     options.profiler = server.profiler();
     options.metrics = server.metrics();
     server.AddEngine<SessionOrderEngine>(options);
@@ -107,6 +108,7 @@ void BuildStack(ClusterServer& server, const StackConfig& config) {
     BatchingEngine::Options options;
     options.max_batch_entries = config.batch_max_entries;
     options.max_delay_micros = config.batch_max_delay_micros;
+    options.clock = config.clock;
     options.profiler = server.profiler();
     options.metrics = server.metrics();
     server.AddEngine<BatchingEngine>(options);

@@ -208,6 +208,40 @@ std::map<std::string, LogPos> ViewTrackingEngine::View() const {
   return view;
 }
 
+HealthReport ViewTrackingEngine::HealthCheck() const {
+  HealthReport report{name(), HealthState::kOk, "", 0};
+  if (options_.eject_after_micros <= 0) {
+    return report;
+  }
+  const int64_t now = clock_->NowMicros();
+  int64_t silent_members = 0;
+  std::string worst;
+  int64_t worst_silence = 0;
+  {
+    std::lock_guard<std::mutex> lock(soft_mu_);
+    for (const auto& [server, last_seen] : last_seen_micros_) {
+      if (server == options_.server_id) {
+        continue;
+      }
+      const int64_t silence = now - last_seen;
+      if (silence > options_.eject_after_micros) {
+        ++silent_members;
+        if (silence > worst_silence) {
+          worst_silence = silence;
+          worst = server;
+        }
+      }
+    }
+  }
+  if (silent_members > 0) {
+    report.state = HealthState::kDegraded;
+    report.reason = std::to_string(silent_members) + " member(s) silent past ejection timeout (" +
+                    worst + " " + std::to_string(worst_silence) + "us; trim held back)";
+    report.value = silent_members;
+  }
+  return report;
+}
+
 LogPos ViewTrackingEngine::SafeTrimPosition() const {
   LogPos min_pos = kNoTrimConstraint;
   bool any = false;

@@ -56,6 +56,10 @@ class ViewTrackingEngine : public StackableEngine {
   // Current safe trim position (min over the view), 0 if the view is empty.
   LogPos SafeTrimPosition() const;
 
+  // Judges membership liveness: members silent past the ejection timeout
+  // (when ejection is enabled) hold the trim prefix back for everyone.
+  HealthReport HealthCheck() const override;
+
  protected:
   void OnPropose(LogEntry* entry) override;
   std::any ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) override;

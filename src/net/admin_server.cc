@@ -1,0 +1,364 @@
+#include "src/net/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+namespace delos {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+AdminResponse NotFound(const std::string& path) {
+  return AdminResponse{404, "text/plain; charset=utf-8", "no route: " + path + "\n"};
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+AdminEndpoint::AdminEndpoint(ClusterServer* server) : server_(server) {}
+
+AdminResponse AdminEndpoint::Handle(const std::string& raw_path) const {
+  std::string path = raw_path;
+  const size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+  if (path == "/metrics") {
+    return Metrics();
+  }
+  if (path == "/healthz") {
+    return Healthz();
+  }
+  if (path == "/status" || path == "/") {
+    return Status();
+  }
+  if (path == "/stack") {
+    return Stack();
+  }
+  if (path == "/top") {
+    return Top();
+  }
+  if (path == "/series") {
+    return Series();
+  }
+  if (path == "/flight") {
+    return Flight();
+  }
+  constexpr char kTracePrefix[] = "/trace/";
+  if (path.rfind(kTracePrefix, 0) == 0) {
+    const std::string id_str = path.substr(sizeof(kTracePrefix) - 1);
+    char* end = nullptr;
+    const uint64_t id = std::strtoull(id_str.c_str(), &end, 10);
+    if (end == id_str.c_str() || *end != '\0') {
+      return NotFound(path);
+    }
+    return Trace(id);
+  }
+  return NotFound(path);
+}
+
+AdminResponse AdminEndpoint::Metrics() const {
+  return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                       server_->metrics()->RenderPrometheus()};
+}
+
+AdminResponse AdminEndpoint::Healthz() const {
+  // One watchdog pass per probe: the verdict is as fresh as the request,
+  // whether or not the background cadence thread is running.
+  const std::vector<HealthReport> reports = server_->CollectHealth();
+  const HealthState aggregate = AggregateHealth(reports);
+  AdminResponse response;
+  response.status = aggregate == HealthState::kUnhealthy ? 503 : 200;
+  response.content_type = "application/json";
+  response.body = RenderHealthJson(reports) + "\n";
+  return response;
+}
+
+AdminResponse AdminEndpoint::Status() const {
+  const std::vector<HealthReport> reports = server_->CollectHealth();
+  std::ostringstream out;
+  out << "server " << server_->id() << ": " << HealthStateName(AggregateHealth(reports))
+      << "\n";
+  out << "  applied=" << server_->base()->applied_position()
+      << " durable=" << server_->base()->durable_position()
+      << " records=" << server_->base()->apply_records()
+      << " batches=" << server_->base()->apply_batches() << "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-18s %-10s %s\n", "component", "state", "reason");
+  out << line;
+  for (const HealthReport& report : reports) {
+    std::snprintf(line, sizeof(line), "  %-18s %-10s %s\n", report.component.c_str(),
+                  HealthStateName(report.state),
+                  report.reason.empty() ? "-" : report.reason.c_str());
+    out << line;
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", out.str()};
+}
+
+AdminResponse AdminEndpoint::Stack() const {
+  std::ostringstream out;
+  BaseEngine* base = server_->base();
+  out << "{\"server\":\"" << JsonEscape(server_->id()) << "\""
+      << ",\"applied_position\":" << base->applied_position()
+      << ",\"durable_position\":" << base->durable_position()
+      << ",\"apply_records\":" << base->apply_records()
+      << ",\"apply_batches\":" << base->apply_batches()
+      << ",\"apply_busy_micros\":" << base->apply_busy_micros() << ",\"stack\":[";
+  // Bottom-up, base first — the order entries flow on the apply path.
+  {
+    const HealthReport health = base->HealthCheck();
+    out << "{\"name\":\"base\",\"enabled\":true,\"health\":\""
+        << HealthStateName(health.state) << "\",\"reason\":\"" << JsonEscape(health.reason)
+        << "\"}";
+  }
+  for (StackableEngine* engine : server_->engines()) {
+    const HealthReport health = engine->HealthCheck();
+    out << ",{\"name\":\"" << JsonEscape(engine->name()) << "\",\"enabled\":"
+        << (engine->enabled() ? "true" : "false") << ",\"health\":\""
+        << HealthStateName(health.state) << "\",\"reason\":\"" << JsonEscape(health.reason)
+        << "\"}";
+  }
+  out << "]}\n";
+  return AdminResponse{200, "application/json", out.str()};
+}
+
+AdminResponse AdminEndpoint::Top() const {
+  return AdminResponse{200, "text/plain; charset=utf-8", server_->series()->RenderTable(10)};
+}
+
+AdminResponse AdminEndpoint::Series() const {
+  return AdminResponse{200, "application/json", server_->series()->RenderJson() + "\n"};
+}
+
+AdminResponse AdminEndpoint::Flight() const {
+  return AdminResponse{200, "text/plain; charset=utf-8", server_->flight_recorder()->Dump()};
+}
+
+AdminResponse AdminEndpoint::Trace(uint64_t trace_id) const {
+  Tracer* tracer = server_->tracer();
+  if (tracer == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8", "tracing is not enabled\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", tracer->Render(trace_id)};
+}
+
+AdminServer::AdminServer(AdminEndpoint endpoint, Options options)
+    : endpoint_(std::move(endpoint)), options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+bool AdminServer::Start() {
+  if (listen_fd_ >= 0) {
+    return true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  shutdown_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoopMain(); });
+  return true;
+}
+
+void AdminServer::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  shutdown_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void AdminServer::ServeLoopMain() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::HandleConnection(int fd) {
+  // Bound the read: an admin request is one short GET line plus headers.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buffer[2048];
+  while (request.size() < 16 * 1024 && request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    return;
+  }
+  std::istringstream line(request.substr(0, line_end));
+  std::string method;
+  std::string path;
+  line >> method >> path;
+
+  AdminResponse response;
+  if (method != "GET") {
+    response = AdminResponse{405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    response = endpoint_.Handle(path);
+  }
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  const std::string wire = out.str();
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+bool AdminHttpGet(const std::string& host, uint16_t port, const std::string& path, int* status,
+                  std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t line_end = response.find("\r\n");
+  const size_t header_end = response.find("\r\n\r\n");
+  if (line_end == std::string::npos || header_end == std::string::npos) {
+    return false;
+  }
+  // "HTTP/1.1 200 OK"
+  std::istringstream line(response.substr(0, line_end));
+  std::string version;
+  int code = 0;
+  line >> version >> code;
+  if (code == 0) {
+    return false;
+  }
+  if (status != nullptr) {
+    *status = code;
+  }
+  if (body != nullptr) {
+    *body = response.substr(header_end + 4);
+  }
+  return true;
+}
+
+}  // namespace delos

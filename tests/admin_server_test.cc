@@ -1,0 +1,201 @@
+// Admin endpoint tests: every route exercised in-process (no sockets), then
+// the HTTP server itself over a real loopback connection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/apps/zelos/zelos.h"
+#include "src/common/trace.h"
+#include "src/core/cluster.h"
+#include "src/engines/stacks.h"
+#include "src/net/admin_server.h"
+
+namespace delos {
+namespace {
+
+// One Zelos server with the production-shaped stack and a short committed
+// workload, so every admin surface has real content.
+class AdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Cluster::Options options;
+    options.num_servers = 1;
+    options.base_options.tracer = &tracer_;
+    cluster_ = std::make_unique<Cluster>(options, [&](ClusterServer& server) {
+      BuildStack(server, ZelosStackConfig(nullptr));
+      auto app = std::make_unique<zelos::ZelosApplicator>();
+      app->set_metrics(server.metrics());
+      server.top()->RegisterUpcall(app.get());
+      server.RegisterHealthTarget(app.get());
+      apps_[server.id()] = std::move(app);
+    });
+    client_ = std::make_unique<zelos::ZelosClient>(cluster_->server(0).top(),
+                                                   apps_["server0"].get());
+    server().CollectHealth();  // time-series baseline
+    session_ = client_->CreateSession();
+    for (int i = 0; i < 8; ++i) {
+      client_->Create(session_, "/n" + std::to_string(i), "v");
+    }
+    server().top()->Sync().Get();
+    server().CollectHealth();  // close a window over the workload
+  }
+
+  ClusterServer& server() { return cluster_->server(0); }
+
+  Tracer tracer_;
+  std::map<std::string, std::unique_ptr<zelos::ZelosApplicator>> apps_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<zelos::ZelosClient> client_;
+  zelos::SessionId session_ = 0;
+};
+
+TEST_F(AdminServerTest, MetricsRouteServesPrometheusExposition) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse response = endpoint.Handle("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("# TYPE base_apply_records counter"), std::string::npos);
+  EXPECT_NE(response.body.find("zelos_open_sessions"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, HealthzReportsEveryComponentOk) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse response = endpoint.Handle("/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"state\":\"OK\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"component\":\"base\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"component\":\"zelos\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"component\":\"batching\""), std::string::npos);
+}
+
+// A wedged component flips /healthz to 503 — the contract a load balancer or
+// Kubernetes probe relies on.
+TEST_F(AdminServerTest, HealthzReturns503WhenAnyComponentIsUnhealthy) {
+  class WedgedTarget : public IHealthCheckable {
+   public:
+    HealthReport HealthCheck() const override {
+      return HealthReport{"wedged", HealthState::kUnhealthy, "stuck", 1};
+    }
+  };
+  WedgedTarget wedged;
+  server().RegisterHealthTarget(&wedged);
+  AdminEndpoint endpoint(&server());
+  const AdminResponse response = endpoint.Handle("/healthz");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("\"state\":\"UNHEALTHY\""), std::string::npos);
+  EXPECT_NE(response.body.find("wedged"), std::string::npos);
+  server().watchdog()->RemoveTarget(&wedged);
+}
+
+TEST_F(AdminServerTest, StatusRouteRendersTheComponentTable) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse response = endpoint.Handle("/status");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("server server0: OK"), std::string::npos);
+  EXPECT_NE(response.body.find("component"), std::string::npos);
+  EXPECT_NE(response.body.find("base"), std::string::npos);
+  EXPECT_NE(response.body.find("applied="), std::string::npos);
+}
+
+TEST_F(AdminServerTest, StackRouteRendersEnginesBottomUp) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse response = endpoint.Handle("/stack");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"server\":\"server0\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"applied_position\""), std::string::npos);
+  // base must come before batching (bottom-up order).
+  const size_t base_at = response.body.find("\"name\":\"base\"");
+  const size_t batching_at = response.body.find("\"name\":\"batching\"");
+  ASSERT_NE(base_at, std::string::npos);
+  ASSERT_NE(batching_at, std::string::npos);
+  EXPECT_LT(base_at, batching_at);
+}
+
+TEST_F(AdminServerTest, TopAndSeriesServeTheTimeSeriesRing) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse top = endpoint.Handle("/top");
+  EXPECT_EQ(top.status, 200);
+  EXPECT_NE(top.body.find("rate/s"), std::string::npos);
+  EXPECT_NE(top.body.find("base.apply.records"), std::string::npos);
+  const AdminResponse series = endpoint.Handle("/series");
+  EXPECT_EQ(series.status, 200);
+  EXPECT_EQ(series.content_type, "application/json");
+  EXPECT_NE(series.body.find("\"windows\""), std::string::npos);
+}
+
+TEST_F(AdminServerTest, FlightAndTraceRoutesServeTheRecorders) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse flight = endpoint.Handle("/flight");
+  EXPECT_EQ(flight.status, 200);
+  EXPECT_NE(flight.body.find("append"), std::string::npos);
+
+  const uint64_t trace_id = tracer_.last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+  const AdminResponse trace = endpoint.Handle("/trace/" + std::to_string(trace_id));
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("trace " + std::to_string(trace_id)), std::string::npos);
+  EXPECT_NE(trace.body.find("base.append"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, UnknownAndMalformedPathsReturn404) {
+  AdminEndpoint endpoint(&server());
+  EXPECT_EQ(endpoint.Handle("/nope").status, 404);
+  EXPECT_EQ(endpoint.Handle("/trace/abc").status, 404);
+  EXPECT_EQ(endpoint.Handle("/trace/12junk").status, 404);
+  EXPECT_EQ(endpoint.Handle("").status, 404);
+}
+
+TEST_F(AdminServerTest, QueryStringsAreIgnored) {
+  AdminEndpoint endpoint(&server());
+  EXPECT_EQ(endpoint.Handle("/metrics?scrape=1").status, 200);
+  EXPECT_EQ(endpoint.Handle("/healthz?verbose=true").status, 200);
+}
+
+TEST_F(AdminServerTest, HttpServerServesRoutesOverLoopback) {
+  AdminServer admin{AdminEndpoint(&server())};
+  ASSERT_TRUE(admin.Start());
+  ASSERT_NE(admin.port(), 0);  // ephemeral port was bound and recovered
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(AdminHttpGet("127.0.0.1", admin.port(), "/healthz", &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"state\":\"OK\""), std::string::npos);
+
+  ASSERT_TRUE(AdminHttpGet("127.0.0.1", admin.port(), "/metrics", &status, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("base_apply_records"), std::string::npos);
+
+  ASSERT_TRUE(AdminHttpGet("127.0.0.1", admin.port(), "/nope", &status, &body));
+  EXPECT_EQ(status, 404);
+
+  // Serial requests on fresh connections (Connection: close semantics).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(AdminHttpGet("127.0.0.1", admin.port(), "/stack", &status, &body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"name\":\"base\""), std::string::npos);
+  }
+  admin.Stop();
+  // After Stop the port no longer answers.
+  EXPECT_FALSE(AdminHttpGet("127.0.0.1", admin.port(), "/healthz", &status, &body));
+}
+
+TEST_F(AdminServerTest, ServerRestartsCleanly) {
+  AdminServer admin{AdminEndpoint(&server())};
+  ASSERT_TRUE(admin.Start());
+  const uint16_t first_port = admin.port();
+  admin.Stop();
+  ASSERT_TRUE(admin.Start());  // rebind (possibly a different ephemeral port)
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(AdminHttpGet("127.0.0.1", admin.port(), "/status", &status, &body));
+  EXPECT_EQ(status, 200);
+  admin.Stop();
+  (void)first_port;
+}
+
+}  // namespace
+}  // namespace delos

@@ -91,6 +91,42 @@ TEST(FlightRecorderTest, ConcurrentRecordAndSnapshot) {
   EXPECT_GT(recorder.events_recorded(), 0u);
 }
 
+// Seqlock torture: a tiny ring and a writer running flat out, so the writer
+// laps the reader's cursor constantly. Every event a Snapshot keeps must be
+// internally consistent (payload fields written together stay together) and
+// in strict record order — torn slots must be discarded, never surfaced.
+// Run under TSan to also prove the fence discipline (scripts/check.sh).
+TEST(FlightRecorderTest, LappingWriterNeverTearsSnapshots) {
+  FlightRecorder recorder(8);
+  std::atomic<bool> stop{false};
+  std::thread writer([&recorder, &stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // detail, a, and b are all derived from i: any mix of two writes is
+      // detectable in the snapshot.
+      recorder.Record(FlightEventKind::kApply, "v" + std::to_string(i % 97), 0, i % 97, i);
+      ++i;
+    }
+  });
+  while (recorder.events_recorded() < 64) {
+    std::this_thread::yield();
+  }
+  for (int round = 0; round < 2000; ++round) {
+    const auto events = recorder.Snapshot();
+    for (size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(events[i].detail, "v" + std::to_string(events[i].a))
+          << "torn slot: detail/a mismatch at seq " << events[i].seq;
+      ASSERT_EQ(events[i].a, events[i].b % 97)
+          << "torn slot: a/b mismatch at seq " << events[i].seq;
+      if (i > 0) {
+        ASSERT_GT(events[i].seq, events[i - 1].seq) << "snapshot out of record order";
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
 TEST(FlightRecorderTest, DumpAndDebugDumpCarryEventsAndMetrics) {
   FlightRecorder recorder(16);
   recorder.Record(FlightEventKind::kAppend, "append ok", 42, 7);

@@ -5,6 +5,7 @@
 // property (every replica's LocalStore is the same function of the log).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <thread>
 
@@ -83,6 +84,31 @@ TEST_F(DelosTableClusterTest, FiveServersOverQuorumLogConverge) {
     cluster_->server(s).top()->Sync().Get();
     EXPECT_EQ(cluster_->server(s).store()->Checksum(), checksum) << "server " << s;
   }
+}
+
+// The on-demand debug endpoint must be callable from a second thread while
+// the apply pipeline is under load: DebugDump reads the metrics registry and
+// the flight-recorder ring concurrently with the writers mutating both.
+TEST_F(DelosTableClusterTest, DebugDumpIsSafeDuringApplyStorm) {
+  StartCluster(3, Cluster::LogKind::kInMemory);
+  TableClient writer = ClientFor(0);
+  writer.CreateTable(UsersSchema());
+  std::atomic<bool> stop{false};
+  std::thread dumper([this, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int s = 0; s < 3; ++s) {
+        const std::string dump = cluster_->server(s).DebugDump();
+        EXPECT_NE(dump.find("== metrics =="), std::string::npos);
+        EXPECT_NE(dump.find("== flight recorder =="), std::string::npos);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    writer.Insert("users", User(i, "user" + std::to_string(i), i % 2 == 0 ? "nyc" : "sfo"));
+  }
+  stop.store(true, std::memory_order_release);
+  dumper.join();
+  EXPECT_EQ(ClientFor(2).Scan("users", std::nullopt, std::nullopt).size(), 200u);
 }
 
 TEST_F(DelosTableClusterTest, WritesFromEveryServerInterleave) {
