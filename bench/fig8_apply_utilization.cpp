@@ -19,6 +19,8 @@
 #include "src/core/cluster.h"
 #include "src/engines/stacks.h"
 #include "src/sharedlog/inmemory_log.h"
+#include "src/sharedlog/quorum_loglet.h"
+#include "src/sharedlog/read_cache.h"
 
 using namespace delos;
 using namespace delos::bench;
@@ -177,6 +179,116 @@ ReplayResult MeasureReplay(const std::shared_ptr<InMemoryLog>& log, LogPos batch
   return result;
 }
 
+// --- read path: entry cache + pipelined read-ahead over the quorum loglet ---
+//
+// The group-commit numbers above replay from an InMemoryLog, where ReadRange
+// is a mutex and a memcpy. Against the quorum loglet every batch costs real
+// round trips: a q.tail RPC plus an acceptor sweep, serialized with apply in
+// the synchronous pipeline. This section replays the same backlog three ways:
+//
+//   sync_no_cache       prefetch off, raw loglet client (the old pipeline)
+//   prefetch_cache_cold prefetcher + an empty ReadCachingLog (first replay)
+//   prefetch_cache_warm a fresh engine over the SAME cache (restart replay)
+//
+// and reports records/sec, the warm run's cache hit rate, and how many
+// per-batch tail RPCs the client's tail memoization elided.
+
+constexpr LogPos kReadPathRecords = 16'384;
+constexpr int64_t kReadPathLatencyMicros = 150;
+constexpr size_t kReadPathAppendWindow = 2'048;
+
+struct ReadPathRun {
+  double records_per_sec = 0;
+  uint64_t checksum = 0;
+};
+
+struct ReadPathResult {
+  ReadPathRun sync_no_cache;
+  ReadPathRun prefetch_cache_cold;
+  ReadPathRun prefetch_cache_warm;
+  double cold_speedup = 0;   // prefetch+cache (cold) vs synchronous baseline
+  double warm_speedup = 0;   // warm cache vs synchronous baseline
+  double warm_hit_rate = 0;  // hits / (hits + misses) during the warm replay
+  uint64_t tail_checks_skipped = 0;
+  bool checksums_match = false;
+};
+
+ReadPathRun MeasureLogReplay(const std::shared_ptr<ISharedLog>& log, int prefetch_batches) {
+  LocalStore store;
+  ReplayApplicator app;
+  BaseEngineOptions options;
+  options.server_id = "readpath";
+  options.play_batch_size = 128;
+  options.prefetch_batches = prefetch_batches;
+  BaseEngine engine(log, &store, options);
+  engine.RegisterUpcall(&app);
+  engine.Start();
+  const int64_t start = RealClock::Instance()->NowMicros();
+  engine.Sync().Get();  // plays the whole backlog
+  const int64_t elapsed = RealClock::Instance()->NowMicros() - start;
+  engine.Stop();
+  ReadPathRun run;
+  run.records_per_sec =
+      1e6 * static_cast<double>(engine.apply_records()) / static_cast<double>(elapsed);
+  run.checksum = store.Checksum();
+  return run;
+}
+
+ReadPathResult MeasureReadPath() {
+  NetworkConfig net_config;
+  net_config.default_one_way_latency_micros = kReadPathLatencyMicros;
+  net_config.call_timeout_micros = 10'000'000;
+  SimNetwork network(net_config);
+  QuorumLogletConfig loglet_config;
+  QuorumEnsemble ensemble(&network, loglet_config);
+
+  // Fill the loglet through its own (windowed) append path.
+  auto writer = std::make_shared<QuorumLogletClient>(&network, "bench-writer", loglet_config);
+  LogEntry entry;
+  entry.payload = std::string(100, 'v');
+  const std::string payload = entry.Serialize();
+  std::vector<Future<LogPos>> inflight;
+  inflight.reserve(kReadPathRecords);
+  size_t next_wait = 0;
+  for (LogPos i = 0; i < kReadPathRecords; ++i) {
+    inflight.push_back(writer->Append(payload));
+    if (inflight.size() - next_wait >= kReadPathAppendWindow) {
+      inflight[next_wait++].Get();
+    }
+  }
+  for (; next_wait < inflight.size(); ++next_wait) {
+    inflight[next_wait].Get();
+  }
+
+  ReadPathResult result;
+  auto sync_client = std::make_shared<QuorumLogletClient>(&network, "bench-sync", loglet_config);
+  result.sync_no_cache = MeasureLogReplay(sync_client, 0);
+
+  auto cached_client =
+      std::make_shared<QuorumLogletClient>(&network, "bench-cached", loglet_config);
+  ReadCacheOptions cache_options;
+  cache_options.capacity_records = kReadPathRecords * 2;
+  auto cache = std::make_shared<ReadCachingLog>(cached_client, cache_options);
+  result.prefetch_cache_cold = MeasureLogReplay(cache, 8);
+
+  const uint64_t hits_before = cache->hits();
+  const uint64_t misses_before = cache->misses();
+  result.prefetch_cache_warm = MeasureLogReplay(cache, 8);
+  const uint64_t warm_hits = cache->hits() - hits_before;
+  const uint64_t warm_misses = cache->misses() - misses_before;
+  result.warm_hit_rate = 100.0 * static_cast<double>(warm_hits) /
+                         static_cast<double>(std::max<uint64_t>(warm_hits + warm_misses, 1));
+  result.tail_checks_skipped = cached_client->tail_checks_skipped();
+  result.cold_speedup =
+      result.prefetch_cache_cold.records_per_sec / result.sync_no_cache.records_per_sec;
+  result.warm_speedup =
+      result.prefetch_cache_warm.records_per_sec / result.sync_no_cache.records_per_sec;
+  result.checksums_match =
+      result.sync_no_cache.checksum == result.prefetch_cache_cold.checksum &&
+      result.sync_no_cache.checksum == result.prefetch_cache_warm.checksum;
+  return result;
+}
+
 void ReportApplyThroughput(double fleet_under_10_pct, double fleet_max_pct) {
   auto log = std::make_shared<InMemoryLog>();
   const std::string value(100, 'v');
@@ -225,6 +337,22 @@ void ReportApplyThroughput(double fleet_under_10_pct, double fleet_max_pct) {
               static_cast<unsigned long long>(recorder.events_recorded()),
               recorder_overhead_pct < 5.0 ? "within budget" : "OVER BUDGET");
 
+  std::printf("\nRead path over the quorum loglet (%llu records, %lldus one-way latency):\n",
+              static_cast<unsigned long long>(kReadPathRecords),
+              static_cast<long long>(kReadPathLatencyMicros));
+  const ReadPathResult read_path = MeasureReadPath();
+  std::printf("%24s %14s\n", "configuration", "records/sec");
+  std::printf("%24s %14.0f\n", "sync, no cache", read_path.sync_no_cache.records_per_sec);
+  std::printf("%24s %14.0f\n", "prefetch, cold cache",
+              read_path.prefetch_cache_cold.records_per_sec);
+  std::printf("%24s %14.0f\n", "prefetch, warm cache",
+              read_path.prefetch_cache_warm.records_per_sec);
+  std::printf("cold speedup %.2fx, warm speedup %.2fx, warm hit rate %.1f%%, "
+              "%llu tail RPCs elided; state checksums %s\n",
+              read_path.cold_speedup, read_path.warm_speedup, read_path.warm_hit_rate,
+              static_cast<unsigned long long>(read_path.tail_checks_skipped),
+              read_path.checksums_match ? "match" : "MISMATCH");
+
   const std::string path = std::string(DELOS_SOURCE_DIR) + "/BENCH_apply.json";
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -254,6 +382,18 @@ void ReportApplyThroughput(double fleet_under_10_pct, double fleet_max_pct) {
                "    \"events_recorded\": %llu,\n"
                "    \"within_5_pct\": %s\n"
                "  },\n"
+               "  \"read_path\": {\n"
+               "    \"replay_records\": %llu,\n"
+               "    \"one_way_latency_micros\": %lld,\n"
+               "    \"sync_no_cache\": { \"records_per_sec\": %.0f },\n"
+               "    \"prefetch_cache_cold\": { \"records_per_sec\": %.0f },\n"
+               "    \"prefetch_cache_warm\": { \"records_per_sec\": %.0f },\n"
+               "    \"cold_speedup\": %.2f,\n"
+               "    \"warm_speedup\": %.2f,\n"
+               "    \"warm_cache_hit_rate_pct\": %.1f,\n"
+               "    \"tail_checks_skipped\": %llu,\n"
+               "    \"checksums_match\": %s\n"
+               "  },\n"
                "  \"fleet\": {\n"
                "    \"samples_under_10_pct_utilization\": %.1f,\n"
                "    \"max_utilization_pct\": %.1f\n"
@@ -266,6 +406,14 @@ void ReportApplyThroughput(double fleet_under_10_pct, double fleet_max_pct) {
                off.records_per_sec, on.records_per_sec, recorder_overhead_pct,
                static_cast<unsigned long long>(recorder.events_recorded()),
                recorder_overhead_pct < 5.0 ? "true" : "false",
+               static_cast<unsigned long long>(kReadPathRecords),
+               static_cast<long long>(kReadPathLatencyMicros),
+               read_path.sync_no_cache.records_per_sec,
+               read_path.prefetch_cache_cold.records_per_sec,
+               read_path.prefetch_cache_warm.records_per_sec, read_path.cold_speedup,
+               read_path.warm_speedup, read_path.warm_hit_rate,
+               static_cast<unsigned long long>(read_path.tail_checks_skipped),
+               read_path.checksums_match ? "true" : "false",
                fleet_under_10_pct, fleet_max_pct);
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());

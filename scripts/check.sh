@@ -12,6 +12,9 @@
 #   scripts/check.sh --health       # health-plane suite only (label `health`):
 #                                   # time-series metrics, watchdogs, admin
 #                                   # endpoint, deterministic stall detection
+#   scripts/check.sh --readpath     # read-path suite only (label `readpath`):
+#                                   # entry cache, prefetcher, tail memoization,
+#                                   # cache-on/off sim verdict identity
 #
 # The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
 # count (default 200). Sanitizer suites run with a reduced count — each
@@ -64,9 +67,18 @@ if [[ "${1:-}" == "--health" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--readpath" ]]; then
+  echo "== read-path suite (entry cache + prefetcher + tail memoization) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build -L readpath --output-on-failure -j "$JOBS"
+  echo "check.sh: read-path suite passed"
+  exit 0
+fi
+
 SAN="${1:-}"
 if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', or '--health')" >&2
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', or '--readpath')" >&2
   exit 2
 fi
 

@@ -61,6 +61,8 @@ BaseEngine::BaseEngine(std::shared_ptr<ISharedLog> log, LocalStore* store,
     records_counter_ = options_.metrics->GetCounter("base.apply.records");
     batches_counter_ = options_.metrics->GetCounter("base.apply.batches");
     lag_gauge_ = options_.metrics->GetGauge("base.apply.lag");
+    read_stall_hist_ = options_.metrics->GetHistogram("read.stall_micros");
+    prefetch_depth_gauge_ = options_.metrics->GetGauge("read.prefetch.depth");
   }
 }
 
@@ -81,6 +83,9 @@ void BaseEngine::Start() {
   }
   last_progress_micros_.store(options_.clock->NowMicros(), std::memory_order_relaxed);
   apply_thread_ = std::thread([this] { ApplyThreadMain(); });
+  if (options_.prefetch_batches > 0) {
+    prefetch_thread_ = std::thread([this] { PrefetchThreadMain(); });
+  }
   sync_thread_ = std::thread([this] { SyncThreadMain(); });
   housekeeping_thread_ = std::thread([this] { HousekeepingThreadMain(); });
 }
@@ -91,11 +96,16 @@ void BaseEngine::Stop() {
     // Briefly take each mutex so no waiter can miss the flag flip.
     { std::lock_guard<std::mutex> lock(apply_mu_); }
     { std::lock_guard<std::mutex> lock(sync_mu_); }
+    { std::lock_guard<std::mutex> lock(prefetch_mu_); }
     apply_cv_.notify_all();
     applied_cv_.notify_all();
     sync_cv_.notify_all();
+    prefetch_cv_.notify_all();
     if (apply_thread_.joinable()) {
       apply_thread_.join();
+    }
+    if (prefetch_thread_.joinable()) {
+      prefetch_thread_.join();
     }
     if (sync_thread_.joinable()) {
       sync_thread_.join();
@@ -269,7 +279,112 @@ bool BaseEngine::WaitForApply(LogPos target) {
   return !shutdown_.load();
 }
 
+size_t BaseEngine::prefetch_queue_depth() const {
+  std::lock_guard<std::mutex> lock(prefetch_mu_);
+  return prefetch_queue_.size();
+}
+
+bool BaseEngine::PushPrefetched(PrefetchedBatch batch) {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_cv_.wait(lock, [&] {
+    return shutdown_.load() ||
+           prefetch_queue_.size() < static_cast<size_t>(options_.prefetch_batches);
+  });
+  if (shutdown_.load()) {
+    return false;
+  }
+  prefetch_queue_.push_back(std::move(batch));
+  if (prefetch_depth_gauge_ != nullptr) {
+    prefetch_depth_gauge_->Set(static_cast<int64_t>(prefetch_queue_.size()));
+  }
+  prefetch_cv_.notify_all();
+  return true;
+}
+
+bool BaseEngine::PopPrefetched(PrefetchedBatch* batch) {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_cv_.wait(lock, [&] { return shutdown_.load() || !prefetch_queue_.empty(); });
+  if (prefetch_queue_.empty()) {
+    return false;  // shutdown
+  }
+  *batch = std::move(prefetch_queue_.front());
+  prefetch_queue_.pop_front();
+  if (prefetch_depth_gauge_ != nullptr) {
+    prefetch_depth_gauge_->Set(static_cast<int64_t>(prefetch_queue_.size()));
+  }
+  prefetch_cv_.notify_all();
+  return true;
+}
+
+// Read-ahead: fetch wide spans of the log ahead of the apply cursor so the
+// apply thread almost never blocks on the network. The fetch span (default
+// 4x play_batch_size) amortizes the per-ReadRange overhead of a remote
+// loglet — tail check, acceptor sweep, round trips — and is re-chunked into
+// play_batch_size batches so each queue slot still maps to one group-commit
+// transaction. Read failures are not handled here asymmetrically: trims are
+// relayed through the queue so the apply thread Fatals exactly as it would
+// have synchronously, and unavailability is retried on the injected clock.
+void BaseEngine::PrefetchThreadMain() {
+  const LogPos span = options_.prefetch_read_span > 0 ? options_.prefetch_read_span
+                                                      : options_.play_batch_size * 4;
+  LogPos fetched = applied_pos_.load(std::memory_order_acquire);
+  while (true) {
+    LogPos target;
+    {
+      std::unique_lock<std::mutex> lock(apply_mu_);
+      apply_cv_.wait(lock, [&] { return shutdown_.load() || play_target_ > fetched; });
+      if (shutdown_.load()) {
+        return;
+      }
+      target = play_target_;
+    }
+    while (fetched < target) {
+      if (shutdown_.load()) {
+        return;
+      }
+      const LogPos lo = fetched + 1;
+      const LogPos hi = std::min<LogPos>(target, lo + span - 1);
+      std::vector<LogRecord> records;
+      try {
+        records = log_->ReadRange(lo, hi);
+      } catch (const TrimmedError&) {
+        PrefetchedBatch poison;
+        poison.error = std::current_exception();
+        PushPrefetched(std::move(poison));
+        return;
+      } catch (const LogUnavailableError&) {
+        if (shutdown_.load()) {
+          return;
+        }
+        options_.clock->SleepMicros(1000);
+        continue;
+      }
+      if (records.empty()) {
+        // Target beyond what the log serves right now; back off briefly and
+        // re-check (the records are committed, they just have not reached
+        // this replica's read path yet).
+        if (shutdown_.load()) {
+          return;
+        }
+        options_.clock->SleepMicros(200);
+        continue;
+      }
+      fetched = records.back().pos;
+      for (size_t offset = 0; offset < records.size(); offset += options_.play_batch_size) {
+        const size_t end = std::min<size_t>(records.size(), offset + options_.play_batch_size);
+        PrefetchedBatch batch;
+        batch.records.assign(std::make_move_iterator(records.begin() + offset),
+                             std::make_move_iterator(records.begin() + end));
+        if (!PushPrefetched(std::move(batch))) {
+          return;
+        }
+      }
+    }
+  }
+}
+
 void BaseEngine::ApplyThreadMain() {
+  const bool prefetch = options_.prefetch_batches > 0;
   while (true) {
     LogPos target;
     {
@@ -283,20 +398,53 @@ void BaseEngine::ApplyThreadMain() {
       target = play_target_;
     }
     while (applied_pos_.load(std::memory_order_acquire) < target) {
-      const LogPos lo = applied_pos_.load(std::memory_order_acquire) + 1;
-      const LogPos hi = std::min<LogPos>(target, lo + options_.play_batch_size - 1);
       std::vector<LogRecord> records;
-      try {
-        records = log_->ReadRange(lo, hi);
-      } catch (const TrimmedError&) {
-        Fatal("playback cursor fell below the trim prefix");
-        return;
-      } catch (const LogUnavailableError&) {
-        if (shutdown_.load()) {
+      // Everything between here and the batch's arrival is read stall:
+      // HealthCheck reads the since-stamp to attribute a wedged cursor to
+      // the read path, and the histogram feeds the utilization bench.
+      const int64_t stall_start = options_.clock->NowMicros();
+      read_stall_since_micros_.store(stall_start, std::memory_order_relaxed);
+      if (prefetch) {
+        PrefetchedBatch batch;
+        if (!PopPrefetched(&batch)) {
+          read_stall_since_micros_.store(0, std::memory_order_relaxed);
+          return;  // shutdown
+        }
+        if (batch.error != nullptr) {
+          read_stall_since_micros_.store(0, std::memory_order_relaxed);
+          try {
+            std::rethrow_exception(batch.error);
+          } catch (const TrimmedError&) {
+            Fatal("playback cursor fell below the trim prefix");
+          } catch (const std::exception& e) {
+            Fatal(std::string("prefetch failed: ") + e.what());
+          }
           return;
         }
-        RealClock::Instance()->SleepMicros(1000);
-        continue;
+        records = std::move(batch.records);
+      } else {
+        const LogPos lo = applied_pos_.load(std::memory_order_acquire) + 1;
+        const LogPos hi = std::min<LogPos>(target, lo + options_.play_batch_size - 1);
+        try {
+          records = log_->ReadRange(lo, hi);
+        } catch (const TrimmedError&) {
+          read_stall_since_micros_.store(0, std::memory_order_relaxed);
+          Fatal("playback cursor fell below the trim prefix");
+          return;
+        } catch (const LogUnavailableError&) {
+          read_stall_since_micros_.store(0, std::memory_order_relaxed);
+          if (shutdown_.load()) {
+            return;
+          }
+          options_.clock->SleepMicros(1000);
+          continue;
+        }
+      }
+      read_stall_since_micros_.store(0, std::memory_order_relaxed);
+      const int64_t stalled = options_.clock->NowMicros() - stall_start;
+      read_stall_total_micros_.fetch_add(stalled, std::memory_order_relaxed);
+      if (read_stall_hist_ != nullptr) {
+        read_stall_hist_->Record(stalled);
       }
       if (records.empty()) {
         break;  // Target beyond the committed tail; more work will arrive.
@@ -318,7 +466,7 @@ void BaseEngine::ApplyThreadMain() {
 // transaction is aborted and the store stays at the previous batch
 // boundary, so replay after a reboot is exact.
 bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
-  const int64_t start_micros = RealClock::Instance()->NowMicros();
+  const int64_t start_micros = options_.clock->NowMicros();
 
   // Per-record outcome, carried across the commit barrier to postApply and
   // promise settlement.
@@ -416,7 +564,7 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
   {
     static const std::string kCommitTxLabel = "base.commitTX";
     ApplyProfiler::Scope scope(options_.profiler, kCommitTxLabel);
-    const int64_t commit_start = RealClock::Instance()->NowMicros();
+    const int64_t commit_start = options_.clock->NowMicros();
     try {
       txn.Commit();
     } catch (const std::exception& e) {
@@ -424,7 +572,7 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
       return false;
     }
     if (commit_latency_hist_ != nullptr) {
-      commit_latency_hist_->Record(RealClock::Instance()->NowMicros() - commit_start);
+      commit_latency_hist_->Record(options_.clock->NowMicros() - commit_start);
     }
   }
   if (options_.recorder != nullptr) {
@@ -515,7 +663,7 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
     }
   }
 
-  const int64_t busy = RealClock::Instance()->NowMicros() - start_micros;
+  const int64_t busy = options_.clock->NowMicros() - start_micros;
   busy_micros_.fetch_add(busy, std::memory_order_relaxed);
   if (options_.profiler != nullptr) {
     options_.profiler->RecordBusy(busy);
@@ -628,19 +776,29 @@ HealthReport BaseEngine::HealthCheck() const {
   const int64_t lag = target > applied ? static_cast<int64_t>(target - applied) : 0;
   HealthReport report{"base", HealthState::kOk, "", lag};
   if (lag > 0) {
-    const int64_t stalled =
-        options_.clock->NowMicros() - last_progress_micros_.load(std::memory_order_relaxed);
+    const int64_t now = options_.clock->NowMicros();
+    const int64_t stalled = now - last_progress_micros_.load(std::memory_order_relaxed);
+    // Attribute the stall: a nonzero since-stamp means the apply thread is
+    // sitting in batch acquisition (queue pop or synchronous ReadRange), so
+    // the log read path — not the upcall — is what is wedged.
+    const int64_t read_since = read_stall_since_micros_.load(std::memory_order_relaxed);
+    const int64_t read_stalled = read_since > 0 ? now - read_since : 0;
+    std::string attribution;
+    if (read_stalled >= options_.health_stall_degraded_micros) {
+      attribution =
+          " (read path stalled " + std::to_string(read_stalled) + "us waiting for log records)";
+    }
     if (stalled >= options_.health_stall_unhealthy_micros) {
       report.state = HealthState::kUnhealthy;
       report.reason = "apply stalled " + std::to_string(stalled) + "us behind target (lag " +
-                      std::to_string(lag) + ")";
+                      std::to_string(lag) + ")" + attribution;
       report.value = stalled;
       return report;
     }
     if (stalled >= options_.health_stall_degraded_micros) {
       report.state = HealthState::kDegraded;
       report.reason = "apply lagging " + std::to_string(lag) + " positions for " +
-                      std::to_string(stalled) + "us";
+                      std::to_string(stalled) + "us" + attribution;
       report.value = stalled;
       return report;
     }

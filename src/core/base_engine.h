@@ -14,6 +14,11 @@
 //    one applied-position publish, and one batched settlement of pending
 //    propose promises. The cursor committed with a batch always equals the
 //    last record applied in it, so replay after a crash is exact.
+//  * With prefetching on (the default), a read-ahead thread keeps batches
+//    of log records fetched ahead of the apply cursor in a bounded queue,
+//    overlapping network reads with local apply work; prefetch_batches = 0
+//    gives synchronous reads on the apply thread (the simulator's mode, so
+//    log reads stay schedule-deterministic).
 //  * Background housekeeping flushes the LocalStore periodically (replay
 //    from the log covers the gap after a crash) and trims the log up to the
 //    prefix allowed by the stack (SetTrimPrefix), clamped to the durable
@@ -25,6 +30,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -45,10 +51,10 @@ struct BaseEngineOptions {
   std::string server_id = "server0";
   int64_t flush_interval_micros = 50'000;
   int64_t trim_interval_micros = 200'000;
-  // Clock used for health-stall arithmetic (last-progress stamps). Defaults
-  // to RealClock; the simulator injects its SimClock so stall detection is a
-  // function of simulated time. Apply-path busy/latency instrumentation
-  // stays on RealClock (it measures real work).
+  // Clock used for health-stall arithmetic (last-progress stamps), apply
+  // batch timing, and the read-retry backoff sleeps. Defaults to RealClock;
+  // tests inject a SimClock so both stall detection and retry pacing are a
+  // function of simulated time.
   Clock* clock = nullptr;
   // HealthCheck thresholds: how long the apply cursor may sit behind a
   // raised play target with zero progress before the engine reports
@@ -59,6 +65,26 @@ struct BaseEngineOptions {
   int64_t health_flush_backlog_positions = 100'000;
   // Maximum records per group-commit batch (= per LocalStore transaction).
   LogPos play_batch_size = 128;
+  // Read-ahead pipeline: how many decoded batches the prefetch thread may
+  // hold ahead of the apply cursor in its bounded queue. 0 disables the
+  // prefetcher entirely — the apply thread reads the log synchronously, one
+  // batch at a time (the simulator runs this mode so every log read stays a
+  // schedule-determined event on the apply thread).
+  int prefetch_batches = 8;
+  // Records per backend ReadRange issued by the prefetcher (0 = 4x
+  // play_batch_size). Wider fetches amortize the per-read tail check and
+  // acceptor round trips of a quorum loglet; the span is re-chunked into
+  // play_batch_size batches so the group-commit transaction bound holds.
+  LogPos prefetch_read_span = 0;
+  // Per-server shared-log read cache, consumed by ClusterServer (not by
+  // BaseEngine itself): when > 0 the server wraps its log in a
+  // ReadCachingLog of this many records before building the engine, so the
+  // apply loop, prefetcher, and LogBackupEngine share one cache. 0 disables.
+  size_t read_cache_capacity = 65536;
+  // Fill the cache from this server's own successful appends (see
+  // ReadCacheOptions::write_through; the simulator turns this off so replay
+  // always flows through the FaultyLog read path).
+  bool read_cache_write_through = true;
   // Optional instrumentation.
   ApplyProfiler* profiler = nullptr;
   // Optional registry; when set the engine records base.apply.batch_size,
@@ -115,6 +141,14 @@ class BaseEngine : public IEngine, public IHealthCheckable {
   // committed by the apply pipeline. records/batches = mean batch size.
   uint64_t apply_records() const { return records_applied_.load(std::memory_order_relaxed); }
   uint64_t apply_batches() const { return batches_committed_.load(std::memory_order_relaxed); }
+  // Cumulative time the apply thread spent waiting for log records (queue
+  // pops in prefetch mode, synchronous ReadRanges otherwise). busy + stall
+  // ~= apply-thread wall time during replay.
+  int64_t read_stall_micros() const {
+    return read_stall_total_micros_.load(std::memory_order_relaxed);
+  }
+  // Batches currently sitting fetched-but-unapplied in the prefetch queue.
+  size_t prefetch_queue_depth() const;
 
   // Forces one flush + durable-position update (tests; production relies on
   // the periodic housekeeping thread).
@@ -132,9 +166,23 @@ class BaseEngine : public IEngine, public IHealthCheckable {
   HealthReport HealthCheck() const override;
 
  private:
+  // One bounded-queue slot: a play_batch_size chunk of fetched records, or a
+  // fatal read error being relayed to the apply thread (so both pipeline
+  // modes fail identically).
+  struct PrefetchedBatch {
+    std::vector<LogRecord> records;
+    std::exception_ptr error;
+  };
+
   void ApplyThreadMain();
+  void PrefetchThreadMain();
   void SyncThreadMain();
   void HousekeepingThreadMain();
+  // Bounded-queue push; blocks while the queue holds prefetch_batches
+  // batches. Returns false when the engine is shutting down.
+  bool PushPrefetched(PrefetchedBatch batch);
+  // Blocking pop. Returns false on shutdown with an empty queue.
+  bool PopPrefetched(PrefetchedBatch* batch);
   // Applies one ReadRange batch in a single LocalStore transaction (group
   // commit). Returns false when the apply thread must exit (fatal error or
   // shutdown); the transaction is aborted and the cursor stays at the last
@@ -178,11 +226,18 @@ class BaseEngine : public IEngine, public IHealthCheckable {
   Counter* records_counter_ = nullptr;
   Counter* batches_counter_ = nullptr;
   Gauge* lag_gauge_ = nullptr;
+  Histogram* read_stall_hist_ = nullptr;
+  Gauge* prefetch_depth_gauge_ = nullptr;
 
   // Injected-clock time of the last apply progress (batch committed, or the
   // stall timer restarting because the play target rose above the cursor
   // after an idle stretch). The watchdog's stall verdict is now minus this.
   std::atomic<int64_t> last_progress_micros_{0};
+  // Injected-clock time at which the apply thread started waiting for its
+  // current batch of log records; 0 while it is not waiting. Lets
+  // HealthCheck attribute a stall to the read path rather than the upcall.
+  std::atomic<int64_t> read_stall_since_micros_{0};
+  std::atomic<int64_t> read_stall_total_micros_{0};
 
   std::atomic<bool> shutdown_{false};
   mutable std::mutex apply_mu_;
@@ -199,7 +254,15 @@ class BaseEngine : public IEngine, public IHealthCheckable {
 
   std::mutex flush_mu_;  // serializes FlushNow with the housekeeping thread
 
+  // Read-ahead pipeline state (prefetch_batches > 0): the prefetch thread
+  // fetches [fetched+1, fetched+span] from the log and pushes
+  // play_batch_size chunks into this bounded queue; the apply thread pops.
+  mutable std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  std::deque<PrefetchedBatch> prefetch_queue_;
+
   std::thread apply_thread_;
+  std::thread prefetch_thread_;
   std::thread sync_thread_;
   std::thread housekeeping_thread_;
 };

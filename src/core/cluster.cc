@@ -26,6 +26,18 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
   if (base_options.clock == nullptr) {
     base_options.clock = RealClock::Instance();
   }
+  // Per-server read cache: wrap the shared log before anything holds a
+  // reference, so the base engine's apply/prefetch reads, the
+  // LogBackupEngine's segment uploads (wired via base()->shared_log()), and
+  // ad-hoc log() readers all go through one ReadCachingLog.
+  if (base_options.read_cache_capacity > 0) {
+    ReadCacheOptions cache_options;
+    cache_options.capacity_records = base_options.read_cache_capacity;
+    cache_options.write_through = base_options.read_cache_write_through;
+    cache_options.metrics = base_options.metrics;
+    read_cache_ = std::make_shared<ReadCachingLog>(log_, cache_options);
+    log_ = read_cache_;
+  }
   // The watchdog shares the base engine's clock (real or simulated), the
   // server's metrics/recorder, and feeds the server's time-series ring.
   WatchdogOptions watchdog_options;

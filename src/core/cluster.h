@@ -21,6 +21,7 @@
 #include "src/core/stackable_engine.h"
 #include "src/net/sim_network.h"
 #include "src/sharedlog/quorum_loglet.h"
+#include "src/sharedlog/read_cache.h"
 #include "src/sharedlog/shared_log.h"
 #include "src/sharedlog/virtual_log.h"
 
@@ -63,7 +64,10 @@ class ClusterServer {
   IEngine* top() { return top_; }
   BaseEngine* base() { return base_.get(); }
   LocalStore* store() { return store_.get(); }
+  // The server's log view; cache-wrapped when read_cache_capacity > 0.
   ISharedLog* log() { return log_.get(); }
+  // The per-server read cache, or nullptr when disabled.
+  ReadCachingLog* read_cache() { return read_cache_.get(); }
   ApplyProfiler* profiler() { return &profiler_; }
   MetricsRegistry* metrics() { return &metrics_; }
   // The server's always-on flight recorder (the server's own ring unless the
@@ -105,6 +109,7 @@ class ClusterServer {
   friend class Cluster;
   std::string id_;
   std::shared_ptr<ISharedLog> log_;
+  std::shared_ptr<ReadCachingLog> read_cache_;  // null when disabled
   std::unique_ptr<LocalStore> store_;
   ApplyProfiler profiler_;
   MetricsRegistry metrics_;

@@ -29,7 +29,10 @@ class LogBackupEngine : public StackableEngine {
   struct Options {
     std::string server_id;
     BackupStore* backup_store = nullptr;
-    // The shared log to read segments from (wired to BaseEngine's log).
+    // The shared log to read segments from (wired to BaseEngine's log — on a
+    // ClusterServer that is the per-server ReadCachingLog, so segment
+    // uploads of recently applied positions are served from cache instead of
+    // re-fetching them from the loglet).
     ISharedLog* log = nullptr;
     // Segment size in log positions. Segment s covers
     // [s * size + 1, (s + 1) * size].

@@ -303,14 +303,17 @@ Future<LogPos> QuorumLogletClient::Append(std::string payload) {
   Promise<LogPos> promise;
   Future<LogPos> future = promise.GetFuture();
   network_->Call(self_, SequencerNode(), "q.append", std::move(payload))
-      .Then([promise = std::make_shared<Promise<LogPos>>(std::move(promise))](
-                Result<std::string> result) {
+      .Then([promise = std::make_shared<Promise<LogPos>>(std::move(promise)),
+             memo = tail_memo_](Result<std::string> result) {
         if (!result.ok()) {
           promise->SetException(result.error());
           return;
         }
         try {
-          promise->SetValue(DecodePosReply(result.value(), "append"));
+          const LogPos pos = DecodePosReply(result.value(), "append");
+          // A committed append at pos proves the tail reached pos + 1.
+          memo->Observe(pos + 1);
+          promise->SetValue(pos);
         } catch (...) {
           promise->SetException(std::current_exception());
         }
@@ -322,8 +325,8 @@ Future<LogPos> QuorumLogletClient::CheckTail() {
   Promise<LogPos> promise;
   Future<LogPos> future = promise.GetFuture();
   network_->Call(self_, SequencerNode(), "q.tail", "")
-      .Then([promise = std::make_shared<Promise<LogPos>>(std::move(promise))](
-                Result<std::string> result) {
+      .Then([promise = std::make_shared<Promise<LogPos>>(std::move(promise)),
+             memo = tail_memo_](Result<std::string> result) {
         if (!result.ok()) {
           promise->SetException(result.error());
           return;
@@ -331,7 +334,9 @@ Future<LogPos> QuorumLogletClient::CheckTail() {
         try {
           Deserializer de(result.value());
           de.ReadVarint();  // Tail checks succeed on sealed loglets too.
-          promise->SetValue(de.ReadVarint());
+          const LogPos tail = de.ReadVarint();
+          memo->Observe(tail);
+          promise->SetValue(tail);
         } catch (...) {
           promise->SetException(std::current_exception());
         }
@@ -346,7 +351,14 @@ std::vector<LogRecord> QuorumLogletClient::ReadRange(LogPos lo, LogPos hi) {
       throw TrimmedError("read below trim prefix");
     }
   }
-  const LogPos tail = CheckTail().Get();
+  // Positions below the memoized tail are committed forever; only pay the
+  // q.tail round trip when the memo does not already cover [lo, hi].
+  LogPos tail = tail_memo_->tail.load(std::memory_order_acquire);
+  if (tail >= hi + 1) {
+    tail_memo_->skipped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tail = CheckTail().Get();
+  }
   if (tail == config_.start_pos || lo >= tail) {
     return {};
   }
@@ -412,6 +424,14 @@ void QuorumLogletClient::Trim(LogPos prefix) {
 LogPos QuorumLogletClient::trim_prefix() const {
   std::lock_guard<std::mutex> lock(mu_);
   return trim_prefix_;
+}
+
+LogPos QuorumLogletClient::observed_tail() const {
+  return tail_memo_->tail.load(std::memory_order_acquire);
+}
+
+uint64_t QuorumLogletClient::tail_checks_skipped() const {
+  return tail_memo_->skipped.load(std::memory_order_relaxed);
 }
 
 void QuorumLogletClient::Seal() {

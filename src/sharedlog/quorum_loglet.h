@@ -19,6 +19,7 @@
 // measures.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -88,14 +89,37 @@ class QuorumLogletClient : public ISharedLog {
   LogPos trim_prefix() const override;
   void Seal() override;
 
+  // Tail memoization. The sequencer replies to appends in commit order, so
+  // the commit frontier is contiguous and monotone: once any reply proves
+  // the tail reached T, every position below T is committed forever. The
+  // client max-tracks T from CheckTail replies and successful appends, and
+  // ReadRange skips the per-batch q.tail RPC whenever the memoized tail
+  // already covers [lo, hi].
+  LogPos observed_tail() const;
+  // ReadRange calls that skipped the q.tail RPC via the memoized tail.
+  uint64_t tail_checks_skipped() const;
+
  private:
   NodeId SequencerNode() const;
   NodeId AcceptorNode(int index) const;
+
+  // Shared with async append/tail continuations, which may outlive `this`.
+  struct TailMemo {
+    std::atomic<LogPos> tail{0};
+    std::atomic<uint64_t> skipped{0};
+    void Observe(LogPos t) {
+      LogPos cur = tail.load(std::memory_order_relaxed);
+      while (t > cur &&
+             !tail.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+      }
+    }
+  };
 
   SimNetwork* network_;
   NodeId self_;
   QuorumLogletConfig config_;
   int preferred_acceptor_;
+  std::shared_ptr<TailMemo> tail_memo_ = std::make_shared<TailMemo>();
   mutable std::mutex mu_;
   LogPos trim_prefix_ = 0;
 };

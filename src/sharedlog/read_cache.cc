@@ -1,0 +1,210 @@
+#include "src/sharedlog/read_cache.h"
+
+#include <utility>
+
+#include "src/common/errors.h"
+
+namespace delos {
+
+ReadCachingLog::State::State(const ReadCacheOptions& options)
+    : capacity(options.capacity_records), write_through(options.write_through) {
+  if (options.metrics != nullptr) {
+    hit_counter = options.metrics->GetCounter("read.cache.hits");
+    miss_counter = options.metrics->GetCounter("read.cache.misses");
+    eviction_counter = options.metrics->GetCounter("read.cache.evictions");
+    wait_counter = options.metrics->GetCounter("read.cache.coalesced_waits");
+    entries_gauge = options.metrics->GetGauge("read.cache.entries");
+  }
+}
+
+void ReadCachingLog::State::InsertLocked(LogPos pos, std::string payload) {
+  if (capacity == 0 || pos <= trim_prefix) return;
+  cache[pos] = std::move(payload);
+  while (cache.size() > capacity) {
+    cache.erase(cache.begin());
+    evictions.fetch_add(1, std::memory_order_relaxed);
+    if (eviction_counter != nullptr) eviction_counter->Increment();
+  }
+}
+
+void ReadCachingLog::State::RemoveFlightLocked(LogPos lo, LogPos hi) {
+  for (auto it = flights.begin(); it != flights.end(); ++it) {
+    if (it->lo == lo && it->hi == hi) {
+      flights.erase(it);
+      return;
+    }
+  }
+}
+
+void ReadCachingLog::State::PublishSizeLocked() {
+  if (entries_gauge != nullptr) {
+    entries_gauge->Set(static_cast<int64_t>(cache.size()));
+  }
+}
+
+ReadCachingLog::ReadCachingLog(std::shared_ptr<ISharedLog> inner,
+                               ReadCacheOptions options)
+    : inner_(std::move(inner)), state_(std::make_shared<State>(options)) {}
+
+Future<LogPos> ReadCachingLog::Append(std::string payload) {
+  if (!state_->write_through) {
+    return inner_->Append(std::move(payload));
+  }
+  // Write-through: remember the payload and insert it once the backend
+  // assigns a position. Safe against duplicated/reordered appends — every
+  // copy of an append commits the same bytes at whatever position it lands.
+  auto state = state_;
+  auto copy = std::make_shared<std::string>(payload);
+  auto promise = std::make_shared<Promise<LogPos>>();
+  inner_->Append(std::move(payload))
+      .Then([state, copy, promise](Result<LogPos> result) {
+        if (result.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(state->mu);
+            state->InsertLocked(result.value(), std::move(*copy));
+            state->PublishSizeLocked();
+          }
+          promise->SetValue(result.value());
+        } else {
+          promise->SetException(result.error());
+        }
+      });
+  return promise->GetFuture();
+}
+
+Future<LogPos> ReadCachingLog::CheckTail() { return inner_->CheckTail(); }
+
+std::vector<LogRecord> ReadCachingLog::ReadRange(LogPos lo, LogPos hi) {
+  State& s = *state_;
+  std::vector<LogRecord> out;
+  if (lo > hi) return out;
+
+  std::unique_lock<std::mutex> lock(s.mu);
+  if (lo <= s.trim_prefix) {
+    throw TrimmedError("read at or below trim prefix " +
+                       std::to_string(s.trim_prefix));
+  }
+  LogPos next = lo;
+  while (true) {
+    // Serve the contiguous cached prefix starting at `next`.
+    while (next <= hi) {
+      auto it = s.cache.find(next);
+      if (it == s.cache.end()) break;
+      out.push_back(LogRecord{next, it->second});
+      s.hits.fetch_add(1, std::memory_order_relaxed);
+      if (s.hit_counter != nullptr) s.hit_counter->Increment();
+      ++next;
+    }
+    if (next > hi) return out;  // fully served from cache
+
+    // [next, hi] is missing. If another reader is already fetching a range
+    // that covers `next`, wait for it and re-scan (single-flight).
+    bool covered = false;
+    for (const Flight& f : s.flights) {
+      if (f.lo <= next && next <= f.hi) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      s.waits.fetch_add(1, std::memory_order_relaxed);
+      if (s.wait_counter != nullptr) s.wait_counter->Increment();
+      s.cv.wait(lock);
+      // Trim may have advanced while we slept; the backend would now refuse
+      // the whole range, so the cache must too.
+      if (next <= s.trim_prefix) {
+        throw TrimmedError("read at or below trim prefix " +
+                           std::to_string(s.trim_prefix));
+      }
+      continue;
+    }
+
+    // Become the fetch owner for [next, hi].
+    s.flights.push_back(Flight{next, hi});
+    lock.unlock();
+    std::vector<LogRecord> fetched;
+    try {
+      s.fetches.fetch_add(1, std::memory_order_relaxed);
+      fetched = inner_->ReadRange(next, hi);
+    } catch (...) {
+      lock.lock();
+      s.RemoveFlightLocked(next, hi);
+      // Learn the backend's trim prefix so later readers fail without a
+      // backend round-trip.
+      const LogPos inner_trim = inner_->trim_prefix();
+      if (inner_trim > s.trim_prefix) s.trim_prefix = inner_trim;
+      s.cv.notify_all();
+      throw;
+    }
+    lock.lock();
+    s.RemoveFlightLocked(next, hi);
+    for (const LogRecord& record : fetched) {
+      s.InsertLocked(record.pos, record.payload);
+    }
+    s.PublishSizeLocked();
+    s.cv.notify_all();
+    s.misses.fetch_add(fetched.size(), std::memory_order_relaxed);
+    if (s.miss_counter != nullptr && !fetched.empty()) {
+      s.miss_counter->Increment(fetched.size());
+    }
+    for (LogRecord& record : fetched) {
+      out.push_back(std::move(record));
+    }
+    // Positions the backend omitted (above the committed tail) stay
+    // uncached; per the ISharedLog contract they are silently dropped.
+    return out;
+  }
+}
+
+void ReadCachingLog::Trim(LogPos prefix) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (prefix > state_->trim_prefix) state_->trim_prefix = prefix;
+    state_->cache.erase(state_->cache.begin(),
+                        state_->cache.upper_bound(prefix));
+    state_->PublishSizeLocked();
+  }
+  inner_->Trim(prefix);
+}
+
+LogPos ReadCachingLog::trim_prefix() const {
+  const LogPos inner_trim = inner_->trim_prefix();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (inner_trim > state_->trim_prefix) state_->trim_prefix = inner_trim;
+  return state_->trim_prefix;
+}
+
+void ReadCachingLog::Seal() {
+  // Conservative: committed entries would stay valid across a seal, but seal
+  // precedes reconfiguration and is rare — drop everything.
+  InvalidateAll();
+  inner_->Seal();
+}
+
+void ReadCachingLog::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->cache.clear();
+  state_->PublishSizeLocked();
+}
+
+uint64_t ReadCachingLog::hits() const {
+  return state_->hits.load(std::memory_order_relaxed);
+}
+uint64_t ReadCachingLog::misses() const {
+  return state_->misses.load(std::memory_order_relaxed);
+}
+uint64_t ReadCachingLog::backend_fetches() const {
+  return state_->fetches.load(std::memory_order_relaxed);
+}
+uint64_t ReadCachingLog::evictions() const {
+  return state_->evictions.load(std::memory_order_relaxed);
+}
+uint64_t ReadCachingLog::single_flight_waits() const {
+  return state_->waits.load(std::memory_order_relaxed);
+}
+size_t ReadCachingLog::entries() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->cache.size();
+}
+
+}  // namespace delos

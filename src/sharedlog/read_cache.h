@@ -1,0 +1,129 @@
+// Per-server shared-log read cache (the read half of the hot path).
+//
+// Log positions in Delos are immutable once committed: a record read at
+// position p is the same bytes forever, until the prefix containing p is
+// trimmed away. That makes aggressive caching safe — the only invalidation
+// a correct cache ever *needs* is trim — and the read path exploits it:
+//
+//  * ReadCachingLog decorates an ISharedLog with a bounded, position-indexed
+//    cache of committed LogRecords. Every reader on a server shares one
+//    instance (ClusterServer wraps the server's log before handing it to the
+//    BaseEngine, so the apply loop, the read-ahead prefetcher, the
+//    LogBackupEngine's segment uploader, and ad-hoc debug reads all hit the
+//    same cache).
+//  * Single-flight coalescing: concurrent ReadRanges whose missing suffix is
+//    already being fetched wait for that fetch instead of issuing a second
+//    backend read. With a quorum loglet behind the cache this turns N
+//    readers of the same immutable range into one set of acceptor RPCs.
+//  * Write-through fill: a successful Append inserts the payload at its
+//    assigned position, so a server replaying its own proposals (the steady
+//    state) reads them back without touching the network at all.
+//  * Trim awareness: Trim drops the invalidated prefix and reads at or
+//    below the trim prefix throw TrimmedError without a backend call. Seal
+//    conservatively drops the whole cache (committed entries would stay
+//    valid, but seal precedes reconfiguration and is rare enough that
+//    correctness-by-emptiness beats reasoning about chain boundaries);
+//    reconfiguration drivers can also call InvalidateAll() directly.
+//
+// Entries silently omitted by the backend (positions above the committed
+// tail) are never cached as absent — a later read of the same range goes
+// back to the backend for the still-missing suffix.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/sharedlog/shared_log.h"
+
+namespace delos {
+
+struct ReadCacheOptions {
+  // Maximum cached records; the lowest positions are evicted first (replay
+  // moves forward, so low positions are the coldest).
+  size_t capacity_records = 65536;
+  // Fill the cache from this server's own successful appends. On in
+  // production; the simulator turns it off so every replayed position still
+  // flows through the FaultyLog read path where the fault plan lives (a
+  // write-through hit would let a replica replay past an injected read
+  // crash without ever touching the wedge).
+  bool write_through = true;
+  // Optional registry for the read.cache.* counters and entries gauge.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class ReadCachingLog : public ISharedLog {
+ public:
+  explicit ReadCachingLog(std::shared_ptr<ISharedLog> inner,
+                          ReadCacheOptions options = ReadCacheOptions{});
+
+  Future<LogPos> Append(std::string payload) override;
+  Future<LogPos> CheckTail() override;
+  std::vector<LogRecord> ReadRange(LogPos lo, LogPos hi) override;
+  void Trim(LogPos prefix) override;
+  LogPos trim_prefix() const override;
+  void Seal() override;
+
+  // Drops every cached record (reconfiguration hook; also wired to Seal).
+  void InvalidateAll();
+
+  ISharedLog* inner() { return inner_.get(); }
+
+  // Counters (records served from cache / fetched from the backend, backend
+  // ReadRange calls issued, records evicted, readers that waited on another
+  // reader's in-flight fetch) and the current cache size.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t backend_fetches() const;
+  uint64_t evictions() const;
+  uint64_t single_flight_waits() const;
+  size_t entries() const;
+
+ private:
+  // An in-flight backend fetch for [lo, hi]; readers whose first missing
+  // position lands inside it wait on `cv` instead of fetching.
+  struct Flight {
+    LogPos lo = 0;
+    LogPos hi = 0;
+  };
+
+  // All mutable cache state lives behind a shared_ptr so the write-through
+  // append continuation stays safe even if it outlives the decorator.
+  struct State {
+    explicit State(const ReadCacheOptions& options);
+
+    mutable std::mutex mu;
+    std::condition_variable cv;  // signaled on every flight completion
+    std::map<LogPos, std::string> cache;
+    std::vector<Flight> flights;
+    LogPos trim_prefix = 0;
+    size_t capacity = 0;
+    bool write_through = true;
+
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> fetches{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> waits{0};
+
+    Counter* hit_counter = nullptr;
+    Counter* miss_counter = nullptr;
+    Counter* eviction_counter = nullptr;
+    Counter* wait_counter = nullptr;
+    Gauge* entries_gauge = nullptr;
+
+    void InsertLocked(LogPos pos, std::string payload);
+    void RemoveFlightLocked(LogPos lo, LogPos hi);
+    void PublishSizeLocked();
+  };
+
+  std::shared_ptr<ISharedLog> inner_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace delos

@@ -104,8 +104,9 @@ std::vector<LogRecord> VirtualLog::ReadRange(LogPos lo, LogPos hi) {
     out.insert(out.end(), std::make_move_iterator(records.begin()),
                std::make_move_iterator(records.end()));
   }
-  std::sort(out.begin(), out.end(),
-            [](const LogRecord& a, const LogRecord& b) { return a.pos < b.pos; });
+  // Segment-order merge: chain segments are disjoint and ordered by
+  // start_pos, and each loglet returns its sub-range sorted, so the
+  // concatenation is already globally sorted — no O(n log n) sort needed.
   return out;
 }
 

@@ -271,6 +271,15 @@ class SimCluster::Impl {
     };
     base_options.tracer = tracer_.get();
     base_options.recorder = rig.recorder.get();  // null for the ref rig
+    // Determinism: reads stay synchronous events on the apply thread (no
+    // prefetch races against the schedule), and the read cache — exercised
+    // by default so sim coverage matches production — never write-through
+    // fills, so every replayed position flows through the FaultyLog read
+    // path where the crash wedge lives. Verdicts are byte-identical with
+    // the cache on or off; sim_read_path coverage pins that down.
+    base_options.prefetch_batches = 0;
+    base_options.read_cache_capacity = options_.read_cache ? 65536 : 0;
+    base_options.read_cache_write_through = false;
     rig.server = std::make_unique<ClusterServer>(rig.id, rig.log, std::move(store),
                                                  std::move(base_options));
     BuildShape(*rig.server);

@@ -54,6 +54,10 @@ struct SimOptions {
   // How long one workload op may stay unresolved before the run is declared
   // stuck (generous: a crash + restart + replay must fit comfortably).
   int64_t op_timeout_micros = 10'000'000;
+  // Per-server shared-log read cache (write-through fill always disabled in
+  // the sim; see BuildRig). Verdicts must be byte-identical either way —
+  // the read-path conformance sweep flips this flag to prove it.
+  bool read_cache = true;
   FaultPlanOptions plan;  // used by RunSeed
 };
 
