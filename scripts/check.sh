@@ -15,6 +15,10 @@
 #   scripts/check.sh --readpath     # read-path suite only (label `readpath`):
 #                                   # entry cache, prefetcher, tail memoization,
 #                                   # cache-on/off sim verdict identity
+#   scripts/check.sh --verify [N]   # verification suite only (label `verify`):
+#                                   # linearizability checker units, the N-seed
+#                                   # fault-sweep audit (default 24), mutation
+#                                   # self-tests, delosctl smoke test
 #
 # The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
 # count (default 200). Sanitizer suites run with a reduced count — each
@@ -76,9 +80,24 @@ if [[ "${1:-}" == "--readpath" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--verify" ]]; then
+  SEED_COUNT="${2:-24}"
+  if ! [[ "$SEED_COUNT" =~ ^[0-9]+$ && "$SEED_COUNT" -gt 0 ]]; then
+    echo "check.sh: --verify expects a positive seed count, got '${2:-}'" >&2
+    exit 2
+  fi
+  echo "== verification suite (linearizability audit, ${SEED_COUNT}-seed fault sweep) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  DELOS_VERIFY_SCHEDULES="$SEED_COUNT" \
+    ctest --test-dir build -L verify --output-on-failure -j "$JOBS"
+  echo "check.sh: verification suite passed"
+  exit 0
+fi
+
 SAN="${1:-}"
 if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', or '--readpath')" >&2
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', '--readpath', or '--verify N')" >&2
   exit 2
 fi
 

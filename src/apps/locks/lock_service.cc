@@ -100,34 +100,44 @@ void LockApplicator::PostApply(const LogEntry& entry, LogPos pos) {
   if (pending_grants_.empty()) {
     return;
   }
-  std::vector<GrantCallback> callbacks;
-  {
-    std::lock_guard<std::mutex> lock(callbacks_mu_);
-    callbacks = callbacks_;
-  }
+  // Invoked under callbacks_mu_ so RemoveGrantCallback (a client destructor)
+  // can never race an in-flight invocation of the callback it removes.
+  // Callbacks only flag local soft state and notify, so holding the lock
+  // across them is safe and cheap.
+  std::lock_guard<std::mutex> guard(callbacks_mu_);
   for (const auto& [lock, owner] : pending_grants_) {
-    for (const auto& callback : callbacks) {
+    for (const auto& [id, callback] : callbacks_) {
       callback(lock, owner);
     }
   }
   pending_grants_.clear();
 }
 
-void LockApplicator::OnGrant(GrantCallback callback) {
+uint64_t LockApplicator::OnGrant(GrantCallback callback) {
   std::lock_guard<std::mutex> lock(callbacks_mu_);
-  callbacks_.push_back(std::move(callback));
+  const uint64_t id = next_callback_id_++;
+  callbacks_[id] = std::move(callback);
+  return id;
+}
+
+void LockApplicator::RemoveGrantCallback(uint64_t id) {
+  std::lock_guard<std::mutex> lock(callbacks_mu_);
+  callbacks_.erase(id);
 }
 
 LockClient::LockClient(IEngine* top, LockApplicator* applicator)
     : AppWrapperBase(top), applicator_(applicator) {
-  applicator_->OnGrant([this](const std::string& lock, const std::string& owner) {
-    {
-      std::lock_guard<std::mutex> guard(granted_mu_);
-      granted_[{lock, owner}] = true;
-    }
-    granted_cv_.notify_all();
-  });
+  grant_callback_id_ =
+      applicator_->OnGrant([this](const std::string& lock, const std::string& owner) {
+        {
+          std::lock_guard<std::mutex> guard(granted_mu_);
+          granted_[{lock, owner}] = true;
+        }
+        granted_cv_.notify_all();
+      });
 }
+
+LockClient::~LockClient() { applicator_->RemoveGrantCallback(grant_callback_id_); }
 
 bool LockClient::Acquire(const std::string& lock, const std::string& owner) {
   OpWriter op(kAcquire);

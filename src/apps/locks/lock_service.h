@@ -34,9 +34,13 @@ class LockApplicator : public IApplicator {
   std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override;
   void PostApply(const LogEntry& entry, LogPos pos) override;
 
-  // Local notification when `owner` is granted `lock`.
+  // Local notification when `owner` is granted `lock`. Returns a
+  // registration id for RemoveGrantCallback; callbacks are invoked with the
+  // registry lock held, so unregistration strictly happens-before or -after
+  // any invocation (a destructing client can never be called into).
   using GrantCallback = std::function<void(const std::string& lock, const std::string& owner)>;
-  void OnGrant(GrantCallback callback);
+  uint64_t OnGrant(GrantCallback callback);
+  void RemoveGrantCallback(uint64_t id);
 
   static std::string LockKey(const std::string& lock);
 
@@ -56,12 +60,16 @@ class LockApplicator : public IApplicator {
   std::vector<std::pair<std::string, std::string>> pending_grants_;
 
   std::mutex callbacks_mu_;
-  std::vector<GrantCallback> callbacks_;
+  std::map<uint64_t, GrantCallback> callbacks_;
+  uint64_t next_callback_id_ = 1;
 };
 
 class LockClient : public AppWrapperBase {
  public:
   LockClient(IEngine* top, LockApplicator* applicator);
+  // Unregisters the grant callback: a LockClient may be shorter-lived than
+  // its applicator (the verification harness makes one per recorded op).
+  ~LockClient();
 
   // Returns true if granted immediately; false if enqueued.
   bool Acquire(const std::string& lock, const std::string& owner);
@@ -81,6 +89,7 @@ class LockClient : public AppWrapperBase {
 
  private:
   LockApplicator* applicator_;
+  uint64_t grant_callback_id_ = 0;
   std::mutex granted_mu_;
   std::condition_variable granted_cv_;
   std::map<std::pair<std::string, std::string>, bool> granted_;  // (lock, owner) -> granted

@@ -553,6 +553,39 @@ bool BaseEngine::ApplyBatch(const std::vector<LogRecord>& records) {
         options_.recorder->Record(FlightEventKind::kApply, "", trace_ids.front(), record.pos);
       }
     }
+#ifdef DELOS_MUTATIONS
+    // Seeded-violation hooks (see BaseEngineOptions::mutate_*): inject one
+    // extra apply after the configured normal apply. Own savepoint so a
+    // deterministic error rolls back only the extra; its result is
+    // discarded, it gets no postApply and settles no promise.
+    if (options_.mutate_double_apply_at > 0 || options_.mutate_reorder_at > 0) {
+      const uint64_t nth = ++mutation_applied_count_;
+      const LogEntry* extra = nullptr;
+      LogPos extra_pos = kInvalidLogPos;
+      if (options_.mutate_double_apply_at == nth) {
+        extra = &out.entry;
+        extra_pos = record.pos;
+      } else if (options_.mutate_reorder_at == nth && mutation_have_prev_) {
+        extra = &mutation_prev_entry_;
+        extra_pos = mutation_prev_pos_;
+      }
+      if (extra != nullptr && upcall_ != nullptr) {
+        const Savepoint savepoint = txn.MakeSavepoint();
+        try {
+          upcall_->Apply(txn, *extra, extra_pos);
+        } catch (const DeterministicError&) {
+          txn.RollbackTo(savepoint);
+        } catch (const std::exception& e) {
+          txn.Abort();
+          Fatal(std::string("non-deterministic exception in mutated apply: ") + e.what());
+          return false;
+        }
+      }
+      mutation_prev_entry_ = out.entry;
+      mutation_prev_pos_ = record.pos;
+      mutation_have_prev_ = true;
+    }
+#endif
     outcomes.push_back(std::move(out));
   }
 

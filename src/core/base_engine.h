@@ -110,6 +110,22 @@ struct BaseEngineOptions {
   // a crash starts at the record after the batch and never re-applies it;
   // sim_crash_recovery_test pins that invariant down.
   std::function<bool(LogPos batch_last)> post_commit_crash_hook;
+
+  // Mutation self-test toggles (verify harness): seeded consistency bugs
+  // that prove the linearizability checker actually fires. Counting the
+  // records this engine applies (1-based, across batches):
+  //  * mutate_double_apply_at = N: after applying the N-th record, apply the
+  //    same entry a second time (a broken exactly-once pipeline).
+  //  * mutate_reorder_at = N: after applying the N-th record, re-apply the
+  //    (N-1)-th record's entry at its original position (a stale replay that
+  //    breaks apply/session order).
+  // The extra apply runs in its own savepoint (a deterministic error rolls
+  // only it back), produces no postApply and settles no promise — the
+  // mutation corrupts state, never liveness. The injection code is compiled
+  // in only when the build sets DELOS_MUTATIONS (CMake option, default ON);
+  // without it these fields are inert.
+  uint64_t mutate_double_apply_at = 0;
+  uint64_t mutate_reorder_at = 0;
 };
 
 class BaseEngine : public IEngine, public IHealthCheckable {
@@ -265,6 +281,16 @@ class BaseEngine : public IEngine, public IHealthCheckable {
   std::thread prefetch_thread_;
   std::thread sync_thread_;
   std::thread housekeeping_thread_;
+
+#ifdef DELOS_MUTATIONS
+  // Mutation self-test state (apply thread only): the count of normal
+  // applies so far and the previously applied entry for the reorder
+  // mutation.
+  uint64_t mutation_applied_count_ = 0;
+  LogEntry mutation_prev_entry_;
+  LogPos mutation_prev_pos_ = 0;
+  bool mutation_have_prev_ = false;
+#endif
 };
 
 }  // namespace delos

@@ -441,6 +441,14 @@ void QuorumLogletClient::Seal() {
     // Seal is idempotent; a lost reply is retried by the reconfiguration
     // driver via a fresh Seal call.
   }
+  // The memo may exceed the sealed tail: a pre-seal append could have
+  // reserved positions the sealed loglet never committed (the sequencer
+  // hands out positions before acceptor quorum). Positions above the seal
+  // point belong to the successor loglet, so a stale memo would let
+  // ReadRange skip the q.tail check and treat an uncommitted range as
+  // committed — a phantom read past the seal. Drop the memo; the next read
+  // re-learns the authoritative sealed tail from the sequencer.
+  tail_memo_->tail.store(0, std::memory_order_release);
 }
 
 }  // namespace delos

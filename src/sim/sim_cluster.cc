@@ -8,7 +8,9 @@
 #include <system_error>
 #include <thread>
 
+#include "src/apps/delosq/delosq.h"
 #include "src/apps/delostable/table_db.h"
+#include "src/apps/locks/lock_service.h"
 #include "src/apps/zelos/zelos.h"
 #include "src/backup/backup_store.h"
 #include "src/core/cluster.h"
@@ -16,6 +18,8 @@
 #include "src/engines/stacks.h"
 #include "src/sharedlog/chaos_log.h"
 #include "src/sharedlog/inmemory_log.h"
+#include "src/verify/checker.h"
+#include "src/verify/recording_client.h"
 
 namespace delos::sim {
 
@@ -40,11 +44,29 @@ const char* StackShapeName(StackShape shape) {
   return "unknown";
 }
 
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kLegacy:
+      return "legacy";
+    case WorkloadKind::kVerifyTable:
+      return "verify-table";
+    case WorkloadKind::kVerifyZelos:
+      return "verify-zelos";
+    case WorkloadKind::kVerifyQueue:
+      return "verify-queue";
+    case WorkloadKind::kVerifyLock:
+      return "verify-lock";
+  }
+  return "unknown";
+}
+
 std::string RunReport::Summary() const {
   std::string out = "sim seed=" + std::to_string(seed) +
                     " final-tail=" + std::to_string(final_tail) +
                     " crashes=" + std::to_string(crashes_fired) +
                     " append-faults=" + std::to_string(append_faults_fired) +
+                    " linearizable=" +
+                    (verify_ran ? (linearizable ? "yes" : "no") : "n/a") +
                     (failures.empty() ? " OK" : " FAILED") + "\n";
   if (!failures.empty()) {
     out += plan_text;
@@ -81,6 +103,10 @@ struct SimCluster::Rig {
   std::shared_ptr<FaultyLog> log;
   std::unique_ptr<IApplicator> app;
   zelos::ZelosApplicator* zelos_app = nullptr;
+  locks::LockApplicator* lock_app = nullptr;
+  // One long-lived client per incarnation (kVerifyLock): the grant callback
+  // registration lives exactly as long as the applicator it points into.
+  std::unique_ptr<locks::LockClient> lock_client;
   std::unique_ptr<ClusterServer> server;
   bool stopped = false;
 };
@@ -115,6 +141,15 @@ class SimCluster::Impl {
     Tracer::Options tracer_options;
     tracer_options.clock = &trace_clock_;
     tracer_ = std::make_unique<Tracer>(tracer_options);
+    current_seed_ = plan.seed;
+    history_.reset();
+    if (options_.workload != WorkloadKind::kLegacy) {
+      // The recorder shares the pinned SimClock, so the rendered history
+      // carries logical ticks and zero micros only — byte-identical across
+      // replays of a schedule.
+      history_ = std::make_unique<verify::HistoryRecorder>(options_.verify_history_capacity,
+                                                           &trace_clock_);
+    }
     rigs_.clear();
     rigs_.resize(static_cast<size_t>(std::max(1, options_.num_servers)));
     for (size_t i = 0; i < rigs_.size(); ++i) {
@@ -182,6 +217,9 @@ class SimCluster::Impl {
         CaptureAndCompare(report, tail);
       }
     }
+    if (history_ != nullptr) {
+      CheckHistory(report);
+    }
 
     // Teardown.
     for (Rig& rig : rigs_) {
@@ -223,6 +261,21 @@ class SimCluster::Impl {
   using SteadyClock = std::chrono::steady_clock;
 
   void BuildShape(ClusterServer& server) {
+    // Verify workloads always run the production-shaped ordering layers:
+    // session order + batching. Without SessionOrder, a duplicated append is
+    // legitimately applied twice — a real non-linearizability the stack is
+    // supposed to (and does) prevent, so auditing a stack without it would
+    // fail every duplicate-fault seed by design.
+    if (options_.workload != WorkloadKind::kLegacy) {
+      StackConfig config = (options_.workload == WorkloadKind::kVerifyZelos)
+                               ? ZelosStackConfig(&backup_)
+                               : DelosTableStackConfig(&backup_);
+      config.backup_segment_size = 1'000'000;
+      config.session_order = true;
+      config.batching = true;
+      BuildStack(server, config);
+      return;
+    }
     StackConfig config = (options_.shape == StackShape::kZelos)
                              ? ZelosStackConfig(&backup_)
                              : DelosTableStackConfig(&backup_);
@@ -283,15 +336,30 @@ class SimCluster::Impl {
     rig.server = std::make_unique<ClusterServer>(rig.id, rig.log, std::move(store),
                                                  std::move(base_options));
     BuildShape(*rig.server);
-    if (options_.shape == StackShape::kZelos) {
+    rig.zelos_app = nullptr;
+    rig.lock_app = nullptr;
+    const bool zelos_app = options_.workload == WorkloadKind::kLegacy
+                               ? options_.shape == StackShape::kZelos
+                               : options_.workload == WorkloadKind::kVerifyZelos;
+    if (zelos_app) {
       auto app = std::make_unique<zelos::ZelosApplicator>();
       app->set_metrics(rig.server->metrics());
       rig.zelos_app = app.get();
       rig.server->top()->RegisterUpcall(app.get());
       rig.app = std::move(app);
+    } else if (options_.workload == WorkloadKind::kVerifyQueue) {
+      auto app = std::make_unique<delosq::QueueApplicator>();
+      rig.server->top()->RegisterUpcall(app.get());
+      rig.app = std::move(app);
+    } else if (options_.workload == WorkloadKind::kVerifyLock) {
+      auto app = std::make_unique<locks::LockApplicator>();
+      rig.lock_app = app.get();
+      rig.server->top()->RegisterUpcall(app.get());
+      rig.app = std::move(app);
+      rig.lock_client =
+          std::make_unique<locks::LockClient>(rig.server->top(), rig.lock_app);
     } else {
       auto app = std::make_unique<table::TableApplicator>();
-      rig.zelos_app = nullptr;
       rig.server->top()->RegisterUpcall(app.get());
       rig.app = std::move(app);
     }
@@ -323,8 +391,10 @@ class SimCluster::Impl {
       // The kill: engines, volatile state, and the in-memory LocalStore die
       // with the server; only the checkpoint file survives.
       rig.server.reset();
+      rig.lock_client.reset();  // before its applicator
       rig.app.reset();
       rig.zelos_app = nullptr;
+      rig.lock_app = nullptr;
       rig.log.reset();
       Rig::PendingCrash crash = rig.pending_crashes.front();
       rig.pending_crashes.pop_front();
@@ -345,8 +415,182 @@ class SimCluster::Impl {
   }
 
   // The workload body for one op, executed on a worker thread. Throws; the
-  // caller classifies the exception. Every call is idempotent under retry.
+  // caller classifies the exception. Legacy calls are idempotent under
+  // retry; verify calls record each attempt into the history instead (an
+  // attempt cut down by a fault is journaled as indeterminate before the
+  // exception reaches the retry loop).
   void DoOp(Rig& rig, int op) {
+    switch (options_.workload) {
+      case WorkloadKind::kLegacy:
+        return DoLegacyOp(rig, op);
+      case WorkloadKind::kVerifyTable:
+        return DoVerifyTableOp(rig, op);
+      case WorkloadKind::kVerifyZelos:
+        return DoVerifyZelosOp(rig, op);
+      case WorkloadKind::kVerifyQueue:
+        return DoVerifyQueueOp(rig, op);
+      case WorkloadKind::kVerifyLock:
+        return DoVerifyLockOp(rig, op);
+    }
+  }
+
+  // SplitMix64 of (seed, op): every op's key and kind are a pure function of
+  // the schedule, never of timing.
+  uint64_t OpRand(int op) const {
+    uint64_t x = current_seed_ * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(op) + 1;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  uint32_t ClientOf(int op) const {
+    return static_cast<uint32_t>(op % std::max(1, options_.verify_clients));
+  }
+
+  uint64_t KeyOf(uint64_t r) const {
+    return r % static_cast<uint64_t>(std::max(1, options_.verify_keys));
+  }
+
+  verify::RecordingClientBase::TraceIdSource TraceSource() {
+    return [this] { return tracer_->last_trace_id(); };
+  }
+
+  // Mixed read/write/CAS over rows of an untracked "verify" table.
+  void DoVerifyTableOp(Rig& rig, int op) {
+    table::TableClient client(rig.server->top());
+    if (op == 0) {
+      table::TableSchema schema;
+      schema.name = "verify";
+      schema.columns = {{"k", table::ValueType::kString}, {"v", table::ValueType::kString}};
+      schema.primary_key = "k";
+      try {
+        client.CreateTable(schema);
+      } catch (const table::DuplicateTableError&) {
+        // A retried create whose first attempt committed.
+      }
+      return;
+    }
+    const uint64_t r = OpRand(op);
+    const std::string key = "k" + std::to_string(KeyOf(r));
+    verify::RecordingTableClient recording(&client, "verify", history_.get(), ClientOf(op),
+                                           TraceSource());
+    const uint64_t kind = (r >> 8) % 10;
+    if (kind < 4) {
+      recording.Write(key, "v" + std::to_string(op));
+    } else if (kind < 8) {
+      recording.Read(key);
+    } else {
+      // Expected = some plausible earlier value, so both CAS outcomes occur.
+      recording.Cas(key, "v" + std::to_string((r >> 16) % static_cast<uint64_t>(op)),
+                    "v" + std::to_string(op) + "c");
+    }
+  }
+
+  // Mixed create/setdata/getdata/delete over a handful of znodes; versions
+  // returned by setdata pin the write order the checker validates.
+  void DoVerifyZelosOp(Rig& rig, int op) {
+    zelos::ZelosClient client(rig.server->top(), rig.zelos_app);
+    if (op == 0) {
+      zelos_session_ = client.CreateSession(600'000'000);
+      return;
+    }
+    const uint64_t r = OpRand(op);
+    const std::string path = "/v" + std::to_string(KeyOf(r));
+    verify::RecordingZelosClient recording(&client, zelos_session_, history_.get(),
+                                           ClientOf(op), TraceSource());
+    const uint64_t kind = (r >> 8) % 10;
+    if (kind < 3) {
+      recording.Create(path, "d" + std::to_string(op));
+    } else if (kind < 6) {
+      recording.SetData(path, "d" + std::to_string(op));
+    } else if (kind < 9) {
+      recording.GetData(path);
+    } else {
+      recording.Delete(path);
+    }
+  }
+
+  // Push/pop over untracked-created queues; every payload is unique, so a
+  // double-applied or skipped dequeue has no sequential witness.
+  void DoVerifyQueueOp(Rig& rig, int op) {
+    delosq::QueueClient client(rig.server->top());
+    if (op == 0) {
+      for (int k = 0; k < std::max(1, options_.verify_keys); ++k) {
+        try {
+          client.CreateQueue("q" + std::to_string(k));
+        } catch (const delosq::QueueExistsError&) {
+        }
+      }
+      return;
+    }
+    const uint64_t r = OpRand(op);
+    const std::string queue = "q" + std::to_string(KeyOf(r));
+    verify::RecordingQueueClient recording(&client, history_.get(), ClientOf(op),
+                                           TraceSource());
+    if ((r >> 8) % 10 < 6) {
+      recording.Push(queue, "p" + std::to_string(op));
+    } else {
+      recording.Pop(queue);
+    }
+  }
+
+  // Acquire/release/owner over a handful of locks; owners are the logical
+  // client names, so mutual exclusion shows up as output mismatches.
+  void DoVerifyLockOp(Rig& rig, int op) {
+    if (op == 0) {
+      return;  // locks materialize on first acquire
+    }
+    locks::LockClient& client = *rig.lock_client;
+    const uint64_t r = OpRand(op);
+    const std::string lock = "l" + std::to_string(KeyOf(r));
+    const std::string owner = "c" + std::to_string(ClientOf(op));
+    verify::RecordingLockClient recording(&client, history_.get(), ClientOf(op),
+                                          TraceSource());
+    const uint64_t kind = (r >> 8) % 10;
+    if (kind < 4) {
+      recording.Acquire(lock, owner);
+    } else if (kind < 8) {
+      recording.Release(lock, owner);
+    } else {
+      recording.Owner(lock);
+    }
+  }
+
+  // Verification phase: snapshot the history, run the checker, fold the
+  // verdict into the report. Runs even when an earlier phase already failed
+  // (a consistency verdict on a crashed run is still evidence).
+  void CheckHistory(RunReport& report) {
+    report.verify_ran = true;
+    const std::vector<verify::HistOp> history = history_->Snapshot();
+    report.verify_ops = history.size();
+    report.history_text = verify::HistoryRecorder::Render(history);
+    if (history_->dropped() != 0) {
+      RecordFailure(report, "verify: history journal overflowed (" +
+                                std::to_string(history_->dropped()) + " ops dropped)");
+    }
+    verify::CheckerOptions checker_options;
+    if (!rigs_.empty() && rigs_[0].server != nullptr) {
+      checker_options.metrics = rigs_[0].server->metrics();
+    }
+    const verify::CheckResult result = verify::CheckLinearizability(history, checker_options);
+    report.linearizable = result.linearizable;
+    report.checker_micros = result.checker_micros;
+    for (const verify::Violation& violation : result.violations) {
+      report.violation_text += violation.Render();
+    }
+    if (result.budget_exhausted) {
+      RecordFailure(report, "verify: checker state budget exhausted before a verdict");
+    }
+    if (!result.linearizable) {
+      RecordFailure(report, "verify: history is not linearizable (" +
+                                std::to_string(result.violations.size()) + " violation(s))");
+    }
+  }
+
+  void DoLegacyOp(Rig& rig, int op) {
     if (options_.shape == StackShape::kZelos) {
       zelos::ZelosClient client(rig.server->top(), rig.zelos_app);
       if (op == 0) {
@@ -445,8 +689,10 @@ class SimCluster::Impl {
           // Force-stopped without a planned crash: rebuild so teardown and
           // later phases see a live server.
           rig.server.reset();
+          rig.lock_client.reset();  // before its applicator
           rig.app.reset();
           rig.zelos_app = nullptr;
+          rig.lock_app = nullptr;
           rig.faults_fired_accum += rig.log->faults_fired();
           rig.log.reset();
           BuildRig(rig, inner_log_);
@@ -547,6 +793,7 @@ class SimCluster::Impl {
     }
     ref.server->Stop();
     ref.server.reset();
+    ref.lock_client.reset();  // before its applicator
     ref.app.reset();
     ref.log.reset();
     if (!ref_ok) {
@@ -593,6 +840,8 @@ class SimCluster::Impl {
   std::shared_ptr<InMemoryLog> inner_log_;
   std::vector<Rig> rigs_;
   zelos::SessionId zelos_session_ = 0;
+  uint64_t current_seed_ = 0;
+  std::unique_ptr<verify::HistoryRecorder> history_;  // verify workloads only
   std::mutex fatal_mu_;
   std::vector<std::string> fatal_messages_;
 };

@@ -1,0 +1,459 @@
+#include "src/verify/checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+namespace delos::verify {
+
+namespace {
+
+std::vector<std::string> SplitFields(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(kFieldSep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string JoinFields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      out.push_back(kFieldSep);
+    }
+    out += fields[i];
+  }
+  return out;
+}
+
+// Every model transition below is a deterministic function of the state, so
+// each Step computes (expected output, successor state) and compares the
+// expected output against the recorded one only when check_output is set —
+// indeterminate ops contribute their state effect with the output unchecked.
+std::optional<std::string> Finish(const HistOp& op, bool check_output,
+                                  const std::string& expected_output,
+                                  std::string next_state) {
+  if (check_output && op.output != expected_output) {
+    return std::nullopt;
+  }
+  return next_state;
+}
+
+// "reg": a register (one table row) with read / write / CAS.
+// State: "A" (absent) or "P<value>".
+class RegisterModel : public SequentialModel {
+ public:
+  const char* name() const override { return "reg"; }
+  std::string InitialState() const override { return "A"; }
+
+  std::optional<std::string> Step(const std::string& state, const HistOp& op,
+                                  bool check_output) const override {
+    const bool absent = state == "A";
+    const std::string value = absent ? "" : state.substr(1);
+    if (op.name == "write") {
+      return Finish(op, check_output, "ok", "P" + op.input);
+    }
+    if (op.name == "read") {
+      return Finish(op, check_output, absent ? "absent" : "v:" + value, state);
+    }
+    if (op.name == "cas") {
+      const std::vector<std::string> args = SplitFields(op.input);
+      if (args.size() != 2) {
+        return std::nullopt;
+      }
+      if (absent) {
+        return Finish(op, check_output, "err:nf", state);
+      }
+      if (value == args[0]) {
+        return Finish(op, check_output, "ok", "P" + args[1]);
+      }
+      return Finish(op, check_output, "err:cond", state);
+    }
+    return std::nullopt;
+  }
+};
+
+// "znode": one Zelos node with versioned data. Create starts at version 0;
+// each SetData bumps the version by one and returns it (the applicator's
+// exact semantics), so version numbers observed by reads pin the write
+// order — the session-ordered-reads check falls out of output matching.
+// State: "A" or "P<version>\x1f<data>".
+class ZnodeModel : public SequentialModel {
+ public:
+  const char* name() const override { return "znode"; }
+  std::string InitialState() const override { return "A"; }
+
+  std::optional<std::string> Step(const std::string& state, const HistOp& op,
+                                  bool check_output) const override {
+    const bool absent = state == "A";
+    int64_t version = 0;
+    std::string data;
+    if (!absent) {
+      const std::vector<std::string> fields = SplitFields(state.substr(1));
+      if (fields.size() != 2) {
+        return std::nullopt;
+      }
+      version = std::stoll(fields[0]);
+      data = fields[1];
+    }
+    if (op.name == "create") {
+      if (absent) {
+        return Finish(op, check_output, "ok",
+                      "P0" + std::string(1, kFieldSep) + op.input);
+      }
+      return Finish(op, check_output, "err:exists", state);
+    }
+    if (op.name == "setdata") {
+      if (absent) {
+        return Finish(op, check_output, "err:nonode", state);
+      }
+      const int64_t next = version + 1;
+      return Finish(op, check_output, "v:" + std::to_string(next),
+                    "P" + std::to_string(next) + std::string(1, kFieldSep) + op.input);
+    }
+    if (op.name == "getdata") {
+      const std::string expected =
+          absent ? "absent"
+                 : "v:" + std::to_string(version) + std::string(1, kFieldSep) + data;
+      return Finish(op, check_output, expected, state);
+    }
+    if (op.name == "delete") {
+      if (absent) {
+        return Finish(op, check_output, "err:nonode", state);
+      }
+      return Finish(op, check_output, "ok", "A");
+    }
+    return std::nullopt;
+  }
+};
+
+// "queue": a FIFO queue. Push returns the assigned sequence number (the
+// applicator assigns them contiguously from 0), pop returns the head or
+// "empty". Exactly-once dequeue falls out: a payload popped twice, or a
+// popped payload that skips the head, has no sequential witness.
+// State: "<next_push_seq>" then one \x1f-separated field per element.
+class QueueModel : public SequentialModel {
+ public:
+  const char* name() const override { return "queue"; }
+  std::string InitialState() const override { return "0"; }
+
+  std::optional<std::string> Step(const std::string& state, const HistOp& op,
+                                  bool check_output) const override {
+    std::vector<std::string> fields = SplitFields(state);
+    const uint64_t next_seq = std::stoull(fields[0]);
+    if (op.name == "push") {
+      fields[0] = std::to_string(next_seq + 1);
+      fields.push_back(op.input);
+      return Finish(op, check_output, "seq:" + std::to_string(next_seq),
+                    JoinFields(fields));
+    }
+    if (op.name == "pop") {
+      if (fields.size() == 1) {
+        return Finish(op, check_output, "empty", state);
+      }
+      const std::string expected = "v:" + fields[1];
+      fields.erase(fields.begin() + 1);
+      return Finish(op, check_output, expected, JoinFields(fields));
+    }
+    return std::nullopt;
+  }
+};
+
+// "lock": one named exclusive lock with the LockApplicator's exact
+// semantics — re-acquire by the owner is granted, a free lock grants
+// immediately, everyone else queues FIFO (deduplicated); release by the
+// owner hands off to the front waiter in the same step, release by a waiter
+// abandons the slot, anything else is err:notowner. Mutual exclusion is
+// what output matching enforces: two concurrent "granted" acquires with no
+// intervening release have no sequential witness.
+// State: "<owner>" then one \x1f-separated field per waiter ("" = free).
+class LockModel : public SequentialModel {
+ public:
+  const char* name() const override { return "lock"; }
+  std::string InitialState() const override { return ""; }
+
+  std::optional<std::string> Step(const std::string& state, const HistOp& op,
+                                  bool check_output) const override {
+    std::vector<std::string> fields = SplitFields(state);
+    std::string owner = fields[0];
+    std::deque<std::string> waiters(fields.begin() + 1, fields.end());
+    const std::string& who = op.input;
+    if (op.name == "acquire") {
+      std::string expected;
+      if (owner == who) {
+        expected = "granted";
+      } else if (owner.empty()) {
+        owner = who;
+        expected = "granted";
+      } else if (std::find(waiters.begin(), waiters.end(), who) != waiters.end()) {
+        expected = "queued";
+      } else {
+        waiters.push_back(who);
+        expected = "queued";
+      }
+      return Finish(op, check_output, expected, Encode(owner, waiters));
+    }
+    if (op.name == "release") {
+      std::string expected;
+      if (owner == who && !owner.empty()) {
+        expected = "ok";
+        if (waiters.empty()) {
+          owner.clear();
+        } else {
+          owner = waiters.front();
+          waiters.pop_front();
+        }
+      } else {
+        auto it = std::find(waiters.begin(), waiters.end(), who);
+        if (it != waiters.end()) {
+          expected = "ok";
+          waiters.erase(it);
+        } else {
+          expected = "err:notowner";
+        }
+      }
+      return Finish(op, check_output, expected, Encode(owner, waiters));
+    }
+    if (op.name == "owner") {
+      return Finish(op, check_output, "o:" + owner, state);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static std::string Encode(const std::string& owner, const std::deque<std::string>& waiters) {
+    std::string out = owner;
+    for (const std::string& w : waiters) {
+      out.push_back(kFieldSep);
+      out += w;
+    }
+    return out;
+  }
+};
+
+void SortByInvoke(std::vector<HistOp>& ops) {
+  std::sort(ops.begin(), ops.end(), [](const HistOp& a, const HistOp& b) {
+    if (a.invoke_tick != b.invoke_tick) {
+      return a.invoke_tick < b.invoke_tick;
+    }
+    return a.id < b.id;
+  });
+}
+
+// Greedy delta-debugging shrink: repeatedly drop any op whose removal keeps
+// the sub-history non-linearizable, until every remaining op is load-bearing.
+std::vector<HistOp> ShrinkViolation(std::vector<HistOp> ops, const SequentialModel& model,
+                                    const CheckerOptions& options) {
+  SortByInvoke(ops);
+  if (ops.size() > options.shrink_limit) {
+    return ops;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      std::vector<HistOp> candidate;
+      candidate.reserve(ops.size() - 1);
+      for (size_t j = 0; j < ops.size(); ++j) {
+        if (j != i) {
+          candidate.push_back(ops[j]);
+        }
+      }
+      bool exhausted = false;
+      if (!CheckSubHistory(candidate, model, options.max_states, &exhausted) && !exhausted) {
+        ops = std::move(candidate);
+        changed = true;
+        --i;  // the slot now holds the next op; retry it
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+std::unique_ptr<SequentialModel> MakeModel(const std::string& tag) {
+  if (tag == "reg") {
+    return std::make_unique<RegisterModel>();
+  }
+  if (tag == "znode") {
+    return std::make_unique<ZnodeModel>();
+  }
+  if (tag == "queue") {
+    return std::make_unique<QueueModel>();
+  }
+  if (tag == "lock") {
+    return std::make_unique<LockModel>();
+  }
+  return nullptr;
+}
+
+bool CheckSubHistory(std::vector<HistOp> ops, const SequentialModel& model,
+                     size_t max_states, bool* budget_exhausted) {
+  SortByInvoke(ops);
+  const size_t n = ops.size();
+  if (n == 0) {
+    return true;
+  }
+  const size_t words = (n + 63) / 64;
+  size_t determinate_total = 0;
+  for (const HistOp& op : ops) {
+    if (!op.indeterminate()) {
+      ++determinate_total;
+    }
+  }
+
+  std::unordered_set<std::string> seen;
+  std::vector<uint64_t> mask(words, 0);
+  const auto done = [&](size_t i) {
+    return (mask[i / 64] >> (i % 64)) & 1u;
+  };
+
+  // Wing & Gong DFS. Recursion depth is bounded by the number of ops in the
+  // sub-history (small by construction: the workload spreads ops over keys).
+  std::function<bool(const std::string&, size_t)> dfs =
+      [&](const std::string& state, size_t determinate_left) -> bool {
+    if (determinate_left == 0) {
+      // Every completed op has a witness; leftover indeterminate ops are
+      // the "never happened" branch.
+      return true;
+    }
+    std::string memo_key(reinterpret_cast<const char*>(mask.data()),
+                         words * sizeof(uint64_t));
+    memo_key.push_back('\0');
+    memo_key += state;
+    if (!seen.insert(std::move(memo_key)).second) {
+      return false;
+    }
+    if (seen.size() > max_states) {
+      if (budget_exhausted != nullptr) {
+        *budget_exhausted = true;
+      }
+      return false;
+    }
+    // An op is minimal iff no pending op's response precedes its invocation;
+    // ticks are globally unique, so "precedes" is a strict compare against
+    // the earliest pending response.
+    uint64_t min_response = kTickInfinity;
+    for (size_t i = 0; i < n; ++i) {
+      if (!done(i) && ops[i].response_tick < min_response) {
+        min_response = ops[i].response_tick;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (done(i)) {
+        continue;
+      }
+      if (ops[i].invoke_tick > min_response) {
+        break;  // invoke-sorted: everything later is non-minimal too
+      }
+      const bool determinate = !ops[i].indeterminate();
+      const auto next = model.Step(state, ops[i], determinate);
+      if (!next.has_value()) {
+        continue;
+      }
+      mask[i / 64] |= uint64_t{1} << (i % 64);
+      const bool ok = dfs(*next, determinate_left - (determinate ? 1 : 0));
+      mask[i / 64] &= ~(uint64_t{1} << (i % 64));
+      if (ok) {
+        return true;
+      }
+      if (budget_exhausted != nullptr && *budget_exhausted) {
+        return false;
+      }
+    }
+    return false;
+  };
+  return dfs(model.InitialState(), determinate_total);
+}
+
+std::string Violation::Render() const {
+  std::string out = "linearizability violation: model=" + model + " key=" + key +
+                    " minimal-sub-history=" + std::to_string(minimal.size()) + " ops\n";
+  out += HistoryRecorder::Render(minimal);
+  if (!trace_ids.empty()) {
+    out += "trace-ids:";
+    for (const uint64_t id : trace_ids) {
+      out += " " + std::to_string(id);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+CheckResult CheckLinearizability(const std::vector<HistOp>& history,
+                                 const CheckerOptions& options) {
+  Clock* clock = options.clock != nullptr ? options.clock : RealClock::Instance();
+  const int64_t start_micros = clock->NowMicros();
+  CheckResult result;
+
+  // P-compositionality: partition by (model, key). std::map keeps the
+  // violation order deterministic.
+  std::map<std::pair<std::string, std::string>, std::vector<HistOp>> partitions;
+  for (const HistOp& op : history) {
+    if (op.model.empty()) {
+      continue;  // untracked setup traffic
+    }
+    partitions[{op.model, op.key}].push_back(op);
+  }
+
+  for (auto& [ident, ops] : partitions) {
+    result.keys_checked += 1;
+    result.ops_checked += ops.size();
+    const auto model = MakeModel(ident.first);
+    Violation violation;
+    violation.model = ident.first;
+    violation.key = ident.second;
+    if (model == nullptr) {
+      // Unknown model tag: a harness bug; surface it as loudly as a real
+      // violation rather than silently skipping the key.
+      result.linearizable = false;
+      violation.minimal = ops;
+      result.violations.push_back(std::move(violation));
+      continue;
+    }
+    bool exhausted = false;
+    const bool ok = CheckSubHistory(ops, *model, options.max_states, &exhausted);
+    if (exhausted) {
+      result.budget_exhausted = true;
+      continue;
+    }
+    if (ok) {
+      continue;
+    }
+    result.linearizable = false;
+    violation.minimal = ShrinkViolation(ops, *model, options);
+    std::set<uint64_t> ids;
+    for (const HistOp& op : violation.minimal) {
+      if (op.trace_id != 0) {
+        ids.insert(op.trace_id);
+      }
+    }
+    violation.trace_ids.assign(ids.begin(), ids.end());
+    result.violations.push_back(std::move(violation));
+  }
+
+  result.checker_micros = clock->NowMicros() - start_micros;
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("verify.ops")->Increment(history.size());
+    options.metrics->GetHistogram("verify.checker_micros")->Record(result.checker_micros);
+    if (!result.violations.empty()) {
+      options.metrics->GetCounter("verify.violations")
+          ->Increment(result.violations.size());
+    }
+  }
+  return result;
+}
+
+}  // namespace delos::verify

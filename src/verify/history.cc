@@ -1,0 +1,111 @@
+#include "src/verify/history.h"
+
+namespace delos::verify {
+
+const char* OpStatusName(OpStatus status) {
+  switch (status) {
+    case OpStatus::kOk:
+      return "ok";
+    case OpStatus::kError:
+      return "err";
+    case OpStatus::kIndeterminate:
+      return "indet";
+  }
+  return "unknown";
+}
+
+HistoryRecorder::HistoryRecorder(size_t capacity, Clock* clock)
+    : clock_(clock), slots_(capacity) {}
+
+uint64_t HistoryRecorder::Invoke(uint32_t client, std::string model, std::string key,
+                                 std::string name, std::string input) {
+  const uint64_t index = next_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  Slot& slot = slots_[index];
+  HistOp& op = slot.op;
+  op.id = index + 1;
+  op.client = client;
+  op.model = std::move(model);
+  op.key = std::move(key);
+  op.name = std::move(name);
+  op.input = std::move(input);
+  op.invoke_micros = clock_ != nullptr ? clock_->NowMicros() : 0;
+  // The tick is taken last so that anything the caller observed before this
+  // invocation carries a strictly smaller tick.
+  op.invoke_tick = tick_.fetch_add(1) + 1;
+  slot.state.store(1, std::memory_order_release);
+  return op.id;
+}
+
+void HistoryRecorder::Response(uint64_t id, OpStatus status, std::string output,
+                               uint64_t trace_id) {
+  if (id == 0 || id > slots_.size()) {
+    return;
+  }
+  Slot& slot = slots_[id - 1];
+  HistOp& op = slot.op;
+  op.status = status;
+  op.output = std::move(output);
+  op.trace_id = trace_id;
+  op.response_micros = clock_ != nullptr ? clock_->NowMicros() : 0;
+  // The tick is taken first so that anything the caller does after the call
+  // returns carries a strictly larger tick.
+  op.response_tick =
+      status == OpStatus::kIndeterminate ? kTickInfinity : tick_.fetch_add(1) + 1;
+  slot.state.store(2, std::memory_order_release);
+}
+
+std::vector<HistOp> HistoryRecorder::Snapshot() const {
+  std::vector<HistOp> out;
+  const uint64_t claimed = next_.load(std::memory_order_acquire);
+  const uint64_t count = claimed < slots_.size() ? claimed : slots_.size();
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const Slot& slot = slots_[i];
+    const int state = slot.state.load(std::memory_order_acquire);
+    if (state == 0) {
+      continue;  // claimed but not yet fully invoked (racing thread)
+    }
+    HistOp op = slot.op;
+    if (state == 1) {
+      // Open at snapshot time: the outcome is unknown.
+      op.status = OpStatus::kIndeterminate;
+      op.output.clear();
+      op.response_tick = kTickInfinity;
+      op.response_micros = 0;
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+size_t HistoryRecorder::size() const {
+  const uint64_t claimed = next_.load(std::memory_order_acquire);
+  return claimed < slots_.size() ? claimed : slots_.size();
+}
+
+std::string HistoryRecorder::Render(const std::vector<HistOp>& ops) {
+  std::string out;
+  for (const HistOp& op : ops) {
+    out += "#" + std::to_string(op.id) + " c" + std::to_string(op.client) + " " +
+           op.model + "/" + op.key + " " + op.name + "(" + op.input + ") -> " +
+           OpStatusName(op.status);
+    if (op.status != OpStatus::kIndeterminate) {
+      out += ":" + op.output;
+    }
+    out += " ticks=[" + std::to_string(op.invoke_tick) + ",";
+    out += op.response_tick == kTickInfinity ? "inf" : std::to_string(op.response_tick);
+    out += ") us=[" + std::to_string(op.invoke_micros) + "," +
+           std::to_string(op.response_micros) + "]";
+    if (op.trace_id != 0) {
+      out += " trace=" + std::to_string(op.trace_id);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace delos::verify

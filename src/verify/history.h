@@ -1,0 +1,117 @@
+// Linearizability verification, part 1: history capture.
+//
+// A HistoryRecorder is a lock-free journal of client-visible operations.
+// Every workload call is recorded as an invoke/response pair carrying the
+// op's identity (client, model, key), its arguments, its observed result,
+// and two *logical ticks* drawn from one global atomic counter. The ticks
+// give the real-time partial order the checker needs: if op A's response
+// happened before op B's invocation (in any cross-thread happens-before
+// sense), then A.response_tick < B.invoke_tick. Wall-clock time never
+// enters the history — display timestamps come from an injected Clock (the
+// simulator pins a SimClock at zero), so a captured history renders
+// byte-identically every time it is rendered (and, for single-threaded
+// workloads such as the mutation self-test, byte-identically across replays
+// of the same seed).
+//
+// Retried client calls are recorded per *attempt*, not per logical op: a
+// retry whose first attempt may have committed (an ambiguous timeout or a
+// crash of the serving replica) is two history ops — the first marked
+// kIndeterminate (it may take effect at any point after its invocation, or
+// never), the second a fresh op. This keeps at-least-once client retry
+// loops honest: the checker decides whether *some* subset of the ambiguous
+// attempts can be linearized, exactly the Knossos treatment of :info ops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace delos::verify {
+
+enum class OpStatus : uint8_t {
+  // Completed: the recorded output is authoritative and the checker must
+  // reproduce it.
+  kOk = 0,
+  // Completed with a deterministic application error (output = "err:...").
+  // Just as authoritative as kOk: every replica threw identically, so the
+  // sequential model must throw at the same point.
+  kError = 1,
+  // Ambiguous outcome (append timeout, crash of the serving replica, seal
+  // mid-propose): the op may have taken effect at any point after its
+  // invocation, or never. Its output is unknown and unchecked, and its
+  // response tick is treated as +infinity.
+  kIndeterminate = 2,
+};
+
+const char* OpStatusName(OpStatus status);
+
+inline constexpr uint64_t kTickInfinity = UINT64_MAX;
+
+struct HistOp {
+  uint64_t id = 0;        // 1-based slot id; unique per recorder
+  uint32_t client = 0;    // issuing logical client (thread)
+  std::string model;      // sequential-model tag: "reg", "znode", "queue", "lock"
+  std::string key;        // partition key (P-compositionality)
+  std::string name;       // op name within the model ("write", "cas", "pop", ...)
+  std::string input;      // serialized arguments
+  std::string output;     // serialized result (empty while open / indeterminate)
+  OpStatus status = OpStatus::kIndeterminate;
+  uint64_t invoke_tick = 0;
+  uint64_t response_tick = kTickInfinity;
+  int64_t invoke_micros = 0;    // injected-clock display time
+  int64_t response_micros = 0;  // injected-clock display time
+  uint64_t trace_id = 0;  // best-effort flight-recorder/trace correlation
+
+  bool indeterminate() const { return status == OpStatus::kIndeterminate; }
+};
+
+// Lock-free op journal: a pre-allocated slot vector claimed by one atomic
+// fetch_add per invocation. Each slot has exactly one writer (the invoking
+// thread), so recording is wait-free; the tick counter's atomic total order
+// is what the checker's real-time constraints are built on. When the journal
+// is full further ops are counted in dropped() and not recorded — the sim
+// driver sizes the capacity so this never happens in a passing run.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(size_t capacity, Clock* clock = nullptr);
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  // Opens an op; returns its id, or 0 when the journal is full (dropped).
+  uint64_t Invoke(uint32_t client, std::string model, std::string key,
+                  std::string name, std::string input);
+  // Closes op `id` (no-op for id 0). Must be called by the invoking thread.
+  void Response(uint64_t id, OpStatus status, std::string output,
+                uint64_t trace_id = 0);
+
+  // Copies every recorded op, ordered by id. Ops still open at snapshot
+  // time appear as kIndeterminate with response_tick = +infinity. Intended
+  // to be taken after the workload threads have joined.
+  std::vector<HistOp> Snapshot() const;
+
+  size_t size() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Deterministic one-op-per-line rendering (no wall-clock content beyond
+  // the injected-clock micros columns).
+  static std::string Render(const std::vector<HistOp>& ops);
+
+ private:
+  struct Slot {
+    HistOp op;
+    // 0 = free, 1 = invoked, 2 = responded.
+    std::atomic<int> state{0};
+  };
+
+  Clock* clock_;
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace delos::verify

@@ -1,0 +1,161 @@
+#include "src/verify/recording_client.h"
+
+#include "src/common/errors.h"
+#include "src/verify/checker.h"
+
+namespace delos::verify {
+
+namespace {
+
+std::string Sep() { return std::string(1, kFieldSep); }
+
+}  // namespace
+
+std::string RecordingClientBase::Run(
+    const char* model, const std::string& key, const char* name, const std::string& input,
+    const std::function<std::pair<OpStatus, std::string>()>& body) {
+  const uint64_t id = recorder_->Invoke(client_id_, model, key, name, input);
+  try {
+    const auto [status, output] = body();
+    recorder_->Response(id, status, output, trace_source_ ? trace_source_() : 0);
+    return output;
+  } catch (const DeterministicError& e) {
+    // An app error the wrapper did not map: record it loudly so the model
+    // rejects the history instead of the harness silently mislabelling it.
+    const std::string output = std::string("err:det:") + e.what();
+    recorder_->Response(id, OpStatus::kError, output, trace_source_ ? trace_source_() : 0);
+    return output;
+  } catch (...) {
+    recorder_->Response(id, OpStatus::kIndeterminate, "");
+    throw;
+  }
+}
+
+// --- RecordingTableClient ("reg") ---
+
+std::string RecordingTableClient::Write(const std::string& key, const std::string& value) {
+  return Run("reg", key, "write", value, [&]() -> std::pair<OpStatus, std::string> {
+    inner_->Upsert(table_, {{"k", key}, {"v", value}});
+    return {OpStatus::kOk, "ok"};
+  });
+}
+
+std::string RecordingTableClient::Read(const std::string& key) {
+  return Run("reg", key, "read", "", [&]() -> std::pair<OpStatus, std::string> {
+    const auto row = inner_->Get(table_, table::Value{key});
+    if (!row.has_value()) {
+      return {OpStatus::kOk, "absent"};
+    }
+    const auto it = row->find("v");
+    const std::string* v = it != row->end() ? std::get_if<std::string>(&it->second) : nullptr;
+    return {OpStatus::kOk, "v:" + (v != nullptr ? *v : std::string())};
+  });
+}
+
+std::string RecordingTableClient::Cas(const std::string& key, const std::string& expected,
+                                      const std::string& desired) {
+  return Run("reg", key, "cas", expected + Sep() + desired,
+             [&]() -> std::pair<OpStatus, std::string> {
+               try {
+                 inner_->ConditionalUpdate(table_, table::Value{key}, "v",
+                                           table::Value{expected}, {{"v", desired}});
+                 return {OpStatus::kOk, "ok"};
+               } catch (const table::ConditionFailedError&) {
+                 return {OpStatus::kError, "err:cond"};
+               } catch (const table::RowNotFoundError&) {
+                 return {OpStatus::kError, "err:nf"};
+               }
+             });
+}
+
+// --- RecordingZelosClient ("znode") ---
+
+std::string RecordingZelosClient::Create(const std::string& path, const std::string& data) {
+  return Run("znode", path, "create", data, [&]() -> std::pair<OpStatus, std::string> {
+    try {
+      inner_->Create(session_, path, data, zelos::kPersistent);
+      return {OpStatus::kOk, "ok"};
+    } catch (const zelos::NodeExistsError&) {
+      return {OpStatus::kError, "err:exists"};
+    }
+  });
+}
+
+std::string RecordingZelosClient::SetData(const std::string& path, const std::string& data) {
+  return Run("znode", path, "setdata", data, [&]() -> std::pair<OpStatus, std::string> {
+    try {
+      const int64_t version = inner_->SetData(path, data);
+      return {OpStatus::kOk, "v:" + std::to_string(version)};
+    } catch (const zelos::NoNodeError&) {
+      return {OpStatus::kError, "err:nonode"};
+    }
+  });
+}
+
+std::string RecordingZelosClient::GetData(const std::string& path) {
+  return Run("znode", path, "getdata", "", [&]() -> std::pair<OpStatus, std::string> {
+    const auto data = inner_->GetData(path);
+    if (!data.has_value()) {
+      return {OpStatus::kOk, "absent"};
+    }
+    return {OpStatus::kOk,
+            "v:" + std::to_string(data->second.version) + Sep() + data->first};
+  });
+}
+
+std::string RecordingZelosClient::Delete(const std::string& path) {
+  return Run("znode", path, "delete", "", [&]() -> std::pair<OpStatus, std::string> {
+    try {
+      inner_->Delete(path);
+      return {OpStatus::kOk, "ok"};
+    } catch (const zelos::NoNodeError&) {
+      return {OpStatus::kError, "err:nonode"};
+    }
+  });
+}
+
+// --- RecordingQueueClient ("queue") ---
+
+std::string RecordingQueueClient::Push(const std::string& queue, const std::string& payload) {
+  return Run("queue", queue, "push", payload, [&]() -> std::pair<OpStatus, std::string> {
+    const uint64_t seq = inner_->Push(queue, payload);
+    return {OpStatus::kOk, "seq:" + std::to_string(seq)};
+  });
+}
+
+std::string RecordingQueueClient::Pop(const std::string& queue) {
+  return Run("queue", queue, "pop", "", [&]() -> std::pair<OpStatus, std::string> {
+    const auto payload = inner_->Pop(queue);
+    if (!payload.has_value()) {
+      return {OpStatus::kOk, "empty"};
+    }
+    return {OpStatus::kOk, "v:" + *payload};
+  });
+}
+
+// --- RecordingLockClient ("lock") ---
+
+std::string RecordingLockClient::Acquire(const std::string& lock, const std::string& owner) {
+  return Run("lock", lock, "acquire", owner, [&]() -> std::pair<OpStatus, std::string> {
+    return {OpStatus::kOk, inner_->Acquire(lock, owner) ? "granted" : "queued"};
+  });
+}
+
+std::string RecordingLockClient::Release(const std::string& lock, const std::string& owner) {
+  return Run("lock", lock, "release", owner, [&]() -> std::pair<OpStatus, std::string> {
+    try {
+      inner_->Release(lock, owner);
+      return {OpStatus::kOk, "ok"};
+    } catch (const locks::NotLockOwnerError&) {
+      return {OpStatus::kError, "err:notowner"};
+    }
+  });
+}
+
+std::string RecordingLockClient::Owner(const std::string& lock) {
+  return Run("lock", lock, "owner", "", [&]() -> std::pair<OpStatus, std::string> {
+    return {OpStatus::kOk, "o:" + inner_->Owner(lock)};
+  });
+}
+
+}  // namespace delos::verify

@@ -1,0 +1,133 @@
+// Linearizability verification, part 3: recording clients.
+//
+// Thin wrappers over the four app client APIs (DelosTable, Zelos, DelosQ,
+// DelosLock) that journal every call into a HistoryRecorder as an
+// invoke/response pair in the exact encodings the sequential models in
+// checker.cc expect. The wrappers add no semantics of their own:
+//
+//  * A normal return records kOk with the model-encoded result.
+//  * A *deterministic* application error (condition failed, no node, not
+//    owner, ...) records kError with the model-encoded "err:..." string —
+//    the sequential model must reproduce it exactly.
+//  * Anything else (log unavailable, sealed, trimmed, timeouts — any
+//    outcome where the op may or may not have committed) records
+//    kIndeterminate and RETHROWS, so the caller's retry loop runs
+//    unchanged. Each retry attempt is its own history op; see history.h.
+//
+// An optional trace-id source (typically Tracer::last_trace_id) stamps each
+// completed op with a best-effort flight-recorder correlation id.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/apps/delosq/delosq.h"
+#include "src/apps/delostable/table_db.h"
+#include "src/apps/locks/lock_service.h"
+#include "src/apps/zelos/zelos.h"
+#include "src/verify/history.h"
+
+namespace delos::verify {
+
+// Shared invoke/record/rethrow plumbing. `client_id` identifies the logical
+// client (workload thread) in the history.
+class RecordingClientBase {
+ public:
+  using TraceIdSource = std::function<uint64_t()>;
+
+  RecordingClientBase(HistoryRecorder* recorder, uint32_t client_id,
+                      TraceIdSource trace_source)
+      : recorder_(recorder), client_id_(client_id), trace_source_(std::move(trace_source)) {}
+
+ protected:
+  // Runs `body` between Invoke and Response. `body` returns (status, output)
+  // for every outcome it understands — including deterministic errors it
+  // maps to "err:..." — and lets everything else escape; escaped
+  // DeterministicErrors record kError with a loud "err:det:" output (the
+  // model rejects them, which is the point: an unmapped deterministic error
+  // is a harness bug), all other exceptions record kIndeterminate and
+  // propagate to the caller's retry loop.
+  std::string Run(const char* model, const std::string& key, const char* name,
+                  const std::string& input,
+                  const std::function<std::pair<OpStatus, std::string>()>& body);
+
+ private:
+  HistoryRecorder* recorder_;
+  uint32_t client_id_;
+  TraceIdSource trace_source_;
+};
+
+// "reg" model over one DelosTable table with schema (k: string primary key,
+// v: string). The table itself is created by the workload driver as
+// untracked setup.
+class RecordingTableClient : public RecordingClientBase {
+ public:
+  RecordingTableClient(table::TableClient* inner, std::string table,
+                       HistoryRecorder* recorder, uint32_t client_id,
+                       TraceIdSource trace_source = nullptr)
+      : RecordingClientBase(recorder, client_id, std::move(trace_source)),
+        inner_(inner),
+        table_(std::move(table)) {}
+
+  std::string Write(const std::string& key, const std::string& value);
+  std::string Read(const std::string& key);
+  std::string Cas(const std::string& key, const std::string& expected,
+                  const std::string& desired);
+
+ private:
+  table::TableClient* inner_;
+  std::string table_;
+};
+
+// "znode" model over Zelos paths (persistent nodes, unconditional SetData /
+// Delete — the version-pinned outputs are what the checker validates).
+class RecordingZelosClient : public RecordingClientBase {
+ public:
+  RecordingZelosClient(zelos::ZelosClient* inner, zelos::SessionId session,
+                       HistoryRecorder* recorder, uint32_t client_id,
+                       TraceIdSource trace_source = nullptr)
+      : RecordingClientBase(recorder, client_id, std::move(trace_source)),
+        inner_(inner),
+        session_(session) {}
+
+  std::string Create(const std::string& path, const std::string& data);
+  std::string SetData(const std::string& path, const std::string& data);
+  std::string GetData(const std::string& path);
+  std::string Delete(const std::string& path);
+
+ private:
+  zelos::ZelosClient* inner_;
+  zelos::SessionId session_;
+};
+
+// "queue" model over named DelosQ queues (created as untracked setup).
+class RecordingQueueClient : public RecordingClientBase {
+ public:
+  RecordingQueueClient(delosq::QueueClient* inner, HistoryRecorder* recorder,
+                       uint32_t client_id, TraceIdSource trace_source = nullptr)
+      : RecordingClientBase(recorder, client_id, std::move(trace_source)), inner_(inner) {}
+
+  std::string Push(const std::string& queue, const std::string& payload);
+  std::string Pop(const std::string& queue);
+
+ private:
+  delosq::QueueClient* inner_;
+};
+
+// "lock" model over named DelosLock locks.
+class RecordingLockClient : public RecordingClientBase {
+ public:
+  RecordingLockClient(locks::LockClient* inner, HistoryRecorder* recorder,
+                      uint32_t client_id, TraceIdSource trace_source = nullptr)
+      : RecordingClientBase(recorder, client_id, std::move(trace_source)), inner_(inner) {}
+
+  std::string Acquire(const std::string& lock, const std::string& owner);
+  std::string Release(const std::string& lock, const std::string& owner);
+  std::string Owner(const std::string& lock);
+
+ private:
+  locks::LockClient* inner_;
+};
+
+}  // namespace delos::verify

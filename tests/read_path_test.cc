@@ -420,6 +420,40 @@ TEST(QuorumTailMemoTest, SkipsTailRpcWhenMemoCoversRange) {
   EXPECT_EQ(client.tail_checks_skipped(), 1u);
 }
 
+// Regression: sealing must invalidate the memoized tail. The memo may cover
+// positions that were reserved by an in-flight append but never committed
+// before the seal — and after reconfiguration those positions belong to the
+// successor loglet. A stale memo would let ReadRange skip the q.tail check
+// and treat such a position as committed (a phantom read); post-seal reads
+// must go back to paying the tail round trip.
+TEST(QuorumTailMemoTest, SealClearsTheMemoSoReadsRecheckTail) {
+  NetworkConfig net_config;
+  net_config.default_one_way_latency_micros = 50;
+  SimNetwork network(net_config);
+  QuorumLogletConfig config;
+  config.num_acceptors = 3;
+  QuorumEnsemble ensemble(&network, config);
+  QuorumLogletClient client(&network, "client0", config);
+
+  constexpr int kRecords = 8;
+  for (int i = 0; i < kRecords; ++i) {
+    client.Append("v" + std::to_string(i)).Get();
+  }
+  ASSERT_EQ(client.observed_tail(), static_cast<LogPos>(kRecords + 1));
+  auto records = client.ReadRange(1, kRecords);
+  ASSERT_EQ(records.size(), static_cast<size_t>(kRecords));
+  ASSERT_EQ(client.tail_checks_skipped(), 1u);
+
+  client.Seal();
+  EXPECT_EQ(client.observed_tail(), 0u);
+
+  // Committed entries are still readable on the sealed loglet, but the read
+  // pays the tail check again instead of trusting the pre-seal memo.
+  auto again = client.ReadRange(1, kRecords);
+  ASSERT_EQ(again.size(), static_cast<size_t>(kRecords));
+  EXPECT_EQ(client.tail_checks_skipped(), 1u);
+}
+
 // --- Sim conformance: cache on/off verdict identity ---
 
 TEST(SimReadPathSweep, CacheOnOffVerdictsByteIdentical) {

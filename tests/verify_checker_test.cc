@@ -1,0 +1,392 @@
+// Linearizability checker unit suite: the sequential models, the Wing&Gong
+// search (concurrency, indeterminate ops, memo budget), P-compositionality,
+// violation shrinking, and history-capture determinism. Histories here are
+// hand-built so every edge of the search is pinned without a cluster.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/verify/checker.h"
+#include "src/verify/history.h"
+
+namespace delos::verify {
+namespace {
+
+const std::string kSep(1, kFieldSep);
+
+// Hand-built op. Determinate unless `rt` is kTickInfinity.
+HistOp Op(uint64_t id, const std::string& model, const std::string& key,
+          const std::string& name, const std::string& input, const std::string& output,
+          uint64_t it, uint64_t rt, OpStatus status = OpStatus::kOk) {
+  HistOp op;
+  op.id = id;
+  op.client = static_cast<uint32_t>(id % 3);
+  op.model = model;
+  op.key = key;
+  op.name = name;
+  op.input = input;
+  op.output = output;
+  op.status = rt == kTickInfinity ? OpStatus::kIndeterminate : status;
+  op.invoke_tick = it;
+  op.response_tick = rt;
+  return op;
+}
+
+bool Check(const std::vector<HistOp>& ops, const std::string& model_tag) {
+  const auto model = MakeModel(model_tag);
+  bool exhausted = false;
+  const bool ok = CheckSubHistory(ops, *model, 1'000'000, &exhausted);
+  EXPECT_FALSE(exhausted);
+  return ok;
+}
+
+// --- Sequential models ---
+
+TEST(SequentialModels, RegisterSteps) {
+  const auto reg = MakeModel("reg");
+  ASSERT_NE(reg, nullptr);
+  std::string state = reg->InitialState();
+  auto next = reg->Step(state, Op(1, "reg", "k", "read", "", "absent", 1, 2), true);
+  ASSERT_TRUE(next.has_value());
+  next = reg->Step(state, Op(1, "reg", "k", "read", "", "v:x", 1, 2), true);
+  EXPECT_FALSE(next.has_value());  // read of a never-written value
+  next = reg->Step(state, Op(1, "reg", "k", "write", "a", "ok", 1, 2), true);
+  ASSERT_TRUE(next.has_value());
+  state = *next;
+  EXPECT_TRUE(reg->Step(state, Op(2, "reg", "k", "read", "", "v:a", 3, 4), true).has_value());
+  // CAS matching / mismatching / on an absent row.
+  EXPECT_TRUE(
+      reg->Step(state, Op(3, "reg", "k", "cas", "a" + kSep + "b", "ok", 5, 6), true)
+          .has_value());
+  EXPECT_TRUE(
+      reg->Step(state, Op(3, "reg", "k", "cas", "x" + kSep + "b", "err:cond", 5, 6), true)
+          .has_value());
+  EXPECT_FALSE(
+      reg->Step(state, Op(3, "reg", "k", "cas", "x" + kSep + "b", "ok", 5, 6), true)
+          .has_value());
+  EXPECT_TRUE(reg->Step(reg->InitialState(),
+                        Op(3, "reg", "k", "cas", "a" + kSep + "b", "err:nf", 5, 6), true)
+                  .has_value());
+}
+
+TEST(SequentialModels, ZnodeVersionsPinWriteOrder) {
+  std::vector<HistOp> ops = {
+      Op(1, "znode", "/n", "create", "d0", "ok", 1, 2),
+      Op(2, "znode", "/n", "setdata", "d1", "v:1", 3, 4),
+      Op(3, "znode", "/n", "getdata", "", "v:1" + kSep + "d1", 5, 6),
+      Op(4, "znode", "/n", "delete", "", "ok", 7, 8),
+      Op(5, "znode", "/n", "getdata", "", "absent", 9, 10),
+      Op(6, "znode", "/n", "create", "d2", "ok", 11, 12),
+      Op(7, "znode", "/n", "getdata", "", "v:0" + kSep + "d2", 13, 14),
+  };
+  EXPECT_TRUE(Check(ops, "znode"));
+  // A read observing version 1 after version 2 was returned has no witness.
+  std::vector<HistOp> stale = {
+      Op(1, "znode", "/n", "create", "d0", "ok", 1, 2),
+      Op(2, "znode", "/n", "setdata", "d1", "v:1", 3, 4),
+      Op(3, "znode", "/n", "setdata", "d2", "v:2", 5, 6),
+      Op(4, "znode", "/n", "getdata", "", "v:1" + kSep + "d1", 7, 8),
+  };
+  EXPECT_FALSE(Check(stale, "znode"));
+}
+
+TEST(SequentialModels, QueueFifoAndViolations) {
+  std::vector<HistOp> fifo = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "push", "b", "seq:1", 3, 4),
+      Op(3, "queue", "q", "pop", "", "v:a", 5, 6),
+      Op(4, "queue", "q", "pop", "", "v:b", 7, 8),
+      Op(5, "queue", "q", "pop", "", "empty", 9, 10),
+  };
+  EXPECT_TRUE(Check(fifo, "queue"));
+  // Double dequeue of one payload.
+  std::vector<HistOp> twice = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "push", "b", "seq:1", 3, 4),
+      Op(3, "queue", "q", "pop", "", "v:a", 5, 6),
+      Op(4, "queue", "q", "pop", "", "v:a", 7, 8),
+  };
+  EXPECT_FALSE(Check(twice, "queue"));
+  // Out-of-order dequeue.
+  std::vector<HistOp> skip = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "push", "b", "seq:1", 3, 4),
+      Op(3, "queue", "q", "pop", "", "v:b", 5, 6),
+  };
+  EXPECT_FALSE(Check(skip, "queue"));
+}
+
+TEST(SequentialModels, LockMutualExclusionAndHandoff) {
+  std::vector<HistOp> handoff = {
+      Op(1, "lock", "l", "acquire", "c1", "granted", 1, 2),
+      Op(2, "lock", "l", "acquire", "c2", "queued", 3, 4),
+      Op(3, "lock", "l", "acquire", "c2", "queued", 5, 6),  // idempotent re-queue
+      Op(4, "lock", "l", "release", "c1", "ok", 7, 8),      // hands off to c2
+      Op(5, "lock", "l", "owner", "", "o:c2", 9, 10),
+      Op(6, "lock", "l", "release", "c2", "ok", 11, 12),
+      Op(7, "lock", "l", "owner", "", "o:", 13, 14),
+      Op(8, "lock", "l", "release", "c1", "err:notowner", 15, 16, OpStatus::kError),
+  };
+  EXPECT_TRUE(Check(handoff, "lock"));
+  // Two grants with no release in between: mutual exclusion broken.
+  std::vector<HistOp> two_owners = {
+      Op(1, "lock", "l", "acquire", "c1", "granted", 1, 2),
+      Op(2, "lock", "l", "acquire", "c2", "granted", 3, 4),
+  };
+  EXPECT_FALSE(Check(two_owners, "lock"));
+  // A waiter abandoning its slot is a valid release.
+  std::vector<HistOp> abandon = {
+      Op(1, "lock", "l", "acquire", "c1", "granted", 1, 2),
+      Op(2, "lock", "l", "acquire", "c2", "queued", 3, 4),
+      Op(3, "lock", "l", "release", "c2", "ok", 5, 6),
+      Op(4, "lock", "l", "release", "c1", "ok", 7, 8),
+      Op(5, "lock", "l", "owner", "", "o:", 9, 10),
+  };
+  EXPECT_TRUE(Check(abandon, "lock"));
+}
+
+TEST(SequentialModels, UnknownTagRejected) {
+  EXPECT_EQ(MakeModel("nope"), nullptr);
+}
+
+// --- The search ---
+
+TEST(Checker, ConcurrentOpsMayLinearizeInEitherOrder) {
+  // The read overlaps the write and may land on either side of it.
+  std::vector<HistOp> sees_it = {
+      Op(1, "reg", "k", "write", "a", "ok", 1, 4),
+      Op(2, "reg", "k", "read", "", "v:a", 2, 3),
+  };
+  EXPECT_TRUE(Check(sees_it, "reg"));
+  std::vector<HistOp> misses_it = {
+      Op(1, "reg", "k", "write", "a", "ok", 1, 4),
+      Op(2, "reg", "k", "read", "", "absent", 2, 3),
+  };
+  EXPECT_TRUE(Check(misses_it, "reg"));
+  // But a non-overlapping (sequential) read must observe the write.
+  std::vector<HistOp> stale = {
+      Op(1, "reg", "k", "write", "a", "ok", 1, 2),
+      Op(2, "reg", "k", "read", "", "absent", 3, 4),
+  };
+  EXPECT_FALSE(Check(stale, "reg"));
+}
+
+TEST(Checker, IndeterminateOpsMayApplyOrVanish) {
+  // The ambiguous write may have committed: a later read of it is fine...
+  std::vector<HistOp> applied = {
+      Op(1, "reg", "k", "write", "a", "", 1, kTickInfinity),
+      Op(2, "reg", "k", "read", "", "v:a", 2, 3),
+  };
+  EXPECT_TRUE(Check(applied, "reg"));
+  // ...and so is never observing it.
+  std::vector<HistOp> vanished = {
+      Op(1, "reg", "k", "write", "a", "", 1, kTickInfinity),
+      Op(2, "reg", "k", "read", "", "absent", 2, 3),
+  };
+  EXPECT_TRUE(Check(vanished, "reg"));
+  // An indeterminate op cannot linearize before its invocation: the read
+  // completed before the ambiguous write was even issued.
+  std::vector<HistOp> too_early = {
+      Op(1, "reg", "k", "read", "", "v:a", 1, 2),
+      Op(2, "reg", "k", "write", "a", "", 3, kTickInfinity),
+  };
+  EXPECT_FALSE(Check(too_early, "reg"));
+  // Ambiguous pop: the retried attempt observing the *second* element is
+  // only explainable if the first attempt dequeued — the searcher must
+  // choose the effect-applied branch.
+  std::vector<HistOp> ambiguous_pop = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "push", "b", "seq:1", 3, 4),
+      Op(3, "queue", "q", "pop", "", "", 5, kTickInfinity),
+      Op(4, "queue", "q", "pop", "", "v:b", 6, 7),
+  };
+  EXPECT_TRUE(Check(ambiguous_pop, "queue"));
+}
+
+TEST(Checker, BudgetExhaustionIsReportedNotAVerdict) {
+  std::vector<HistOp> ops;
+  // Sixteen fully concurrent writes: factorial search space, tiny budget.
+  for (uint64_t i = 1; i <= 16; ++i) {
+    ops.push_back(Op(i, "reg", "k", "write", "w" + std::to_string(i), "ok", i, 100 + i));
+  }
+  const auto model = MakeModel("reg");
+  bool exhausted = false;
+  CheckSubHistory(ops, *model, 8, &exhausted);
+  EXPECT_TRUE(exhausted);
+
+  CheckResult result = CheckLinearizability(ops, {.max_states = 8});
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_TRUE(result.violations.empty());  // never misreported as a violation
+}
+
+// --- CheckLinearizability: partitioning, violations, shrinking, metrics ---
+
+TEST(Checker, PartitionsByModelAndKey) {
+  // Interleaved ops on two keys + one queue; each partition is fine even
+  // though the combined tick sequence mixes them.
+  std::vector<HistOp> ops = {
+      Op(1, "reg", "a", "write", "x", "ok", 1, 2),
+      Op(2, "reg", "b", "read", "", "absent", 3, 4),
+      Op(3, "queue", "q", "push", "p", "seq:0", 5, 6),
+      Op(4, "reg", "a", "read", "", "v:x", 7, 8),
+      Op(5, "queue", "q", "pop", "", "v:p", 9, 10),
+      Op(6, "reg", "b", "write", "y", "ok", 11, 12),
+  };
+  const CheckResult result = CheckLinearizability(ops);
+  EXPECT_TRUE(result.linearizable);
+  EXPECT_EQ(result.keys_checked, 3u);
+  EXPECT_EQ(result.ops_checked, 6u);
+
+  // Corrupt exactly one partition; the violation names it.
+  ops.push_back(Op(7, "reg", "b", "read", "", "absent", 13, 14));
+  const CheckResult bad = CheckLinearizability(ops);
+  EXPECT_FALSE(bad.linearizable);
+  ASSERT_EQ(bad.violations.size(), 1u);
+  EXPECT_EQ(bad.violations[0].model, "reg");
+  EXPECT_EQ(bad.violations[0].key, "b");
+}
+
+// Asserts the minimality invariant: removing any single op from the
+// reported sub-history makes the remainder linearizable.
+void ExpectMinimal(const Violation& violation, const std::string& model_tag) {
+  const auto model = MakeModel(model_tag);
+  for (size_t skip = 0; skip < violation.minimal.size(); ++skip) {
+    std::vector<HistOp> reduced;
+    for (size_t i = 0; i < violation.minimal.size(); ++i) {
+      if (i != skip) {
+        reduced.push_back(violation.minimal[i]);
+      }
+    }
+    bool exhausted = false;
+    EXPECT_TRUE(CheckSubHistory(reduced, *model, 1'000'000, &exhausted))
+        << "sub-history still non-linearizable after removing op #"
+        << violation.minimal[skip].id << " — not minimal";
+  }
+}
+
+TEST(Checker, ShrinksToAMinimalSubHistory) {
+  // Two sequential grants with no release: each acquire alone is fine (a
+  // free lock grants), together they have no witness — the minimal
+  // certificate is exactly this pair. The leading owner query is benign in
+  // every subset, so shrink must drop it.
+  std::vector<HistOp> ops = {
+      Op(1, "lock", "l", "owner", "", "o:", 1, 2),
+      Op(2, "lock", "l", "acquire", "c1", "granted", 3, 4),
+      Op(3, "lock", "l", "acquire", "c2", "granted", 5, 6),
+  };
+  const CheckResult result = CheckLinearizability(ops);
+  ASSERT_FALSE(result.linearizable);
+  ASSERT_EQ(result.violations.size(), 1u);
+  const Violation& violation = result.violations[0];
+  EXPECT_EQ(violation.minimal.size(), 2u);
+  ExpectMinimal(violation, "lock");
+  EXPECT_FALSE(violation.Render().empty());
+}
+
+TEST(Checker, ShrinkStopsAtSingleImpossibleOps) {
+  // A push whose sequence number pins absent prior state shrinks all the
+  // way to itself — a one-op certificate is still a certificate.
+  std::vector<HistOp> ops = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "pop", "", "v:a", 3, 4),
+      Op(3, "queue", "q", "push", "b", "seq:1", 5, 6),
+      Op(4, "queue", "q", "pop", "", "empty", 7, 8),
+  };
+  const CheckResult result = CheckLinearizability(ops);
+  ASSERT_FALSE(result.linearizable);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_LT(result.violations[0].minimal.size(), ops.size());
+  ExpectMinimal(result.violations[0], "queue");
+}
+
+TEST(Checker, ViolationCarriesTraceIds) {
+  std::vector<HistOp> ops = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "pop", "", "empty", 3, 4),
+  };
+  ops[0].trace_id = 77;
+  ops[1].trace_id = 42;
+  const CheckResult result = CheckLinearizability(ops);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].trace_ids, (std::vector<uint64_t>{42, 77}));
+  EXPECT_NE(result.violations[0].Render().find("trace-ids: 42 77"), std::string::npos);
+}
+
+TEST(Checker, RecordsMetrics) {
+  MetricsRegistry metrics;
+  std::vector<HistOp> ops = {
+      Op(1, "queue", "q", "push", "a", "seq:0", 1, 2),
+      Op(2, "queue", "q", "pop", "", "empty", 3, 4),
+  };
+  CheckerOptions options;
+  options.metrics = &metrics;
+  CheckLinearizability(ops, options);
+  EXPECT_EQ(metrics.GetCounter("verify.ops")->value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("verify.violations")->value(), 1u);
+}
+
+// --- History capture ---
+
+TEST(History, TicksGiveRealTimeOrderAndRenderIsDeterministic) {
+  HistoryRecorder recorder(16);
+  const uint64_t a = recorder.Invoke(0, "reg", "k", "write", "a");
+  recorder.Response(a, OpStatus::kOk, "ok");
+  const uint64_t b = recorder.Invoke(1, "reg", "k", "read", "");
+  recorder.Response(b, OpStatus::kOk, "v:a");
+  const auto ops = recorder.Snapshot();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_LT(ops[0].response_tick, ops[1].invoke_tick);  // sequential => ordered
+  EXPECT_EQ(HistoryRecorder::Render(ops), HistoryRecorder::Render(recorder.Snapshot()));
+  EXPECT_NE(HistoryRecorder::Render(ops).find("#1 c0 reg/k write(a) -> ok:ok"),
+            std::string::npos);
+}
+
+TEST(History, OpenOpsSnapshotAsIndeterminate) {
+  HistoryRecorder recorder(16);
+  recorder.Invoke(0, "reg", "k", "write", "a");  // never responded
+  const auto ops = recorder.Snapshot();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_TRUE(ops[0].indeterminate());
+  EXPECT_EQ(ops[0].response_tick, kTickInfinity);
+}
+
+TEST(History, OverflowDropsInsteadOfBlocking) {
+  HistoryRecorder recorder(2);
+  EXPECT_NE(recorder.Invoke(0, "reg", "k", "write", "a"), 0u);
+  EXPECT_NE(recorder.Invoke(0, "reg", "k", "write", "b"), 0u);
+  EXPECT_EQ(recorder.Invoke(0, "reg", "k", "write", "c"), 0u);
+  recorder.Response(0, OpStatus::kOk, "ok");  // dropped id: must be a no-op
+  EXPECT_EQ(recorder.dropped(), 1u);
+  EXPECT_EQ(recorder.Snapshot().size(), 2u);
+}
+
+TEST(History, ConcurrentRecordingIsLossless) {
+  HistoryRecorder recorder(4096);
+  std::vector<std::thread> threads;
+  for (uint32_t c = 0; c < 8; ++c) {
+    threads.emplace_back([&recorder, c] {
+      for (int i = 0; i < 128; ++i) {
+        const uint64_t id =
+            recorder.Invoke(c, "reg", "k" + std::to_string(c), "write", std::to_string(i));
+        recorder.Response(id, OpStatus::kOk, "ok");
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const auto ops = recorder.Snapshot();
+  ASSERT_EQ(ops.size(), 8u * 128u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  // Every op got distinct ticks and a response after its invoke.
+  for (const HistOp& op : ops) {
+    EXPECT_LT(op.invoke_tick, op.response_tick);
+  }
+  // And the per-thread (sequential) histories all linearize trivially.
+  EXPECT_TRUE(CheckLinearizability(ops).linearizable);
+}
+
+}  // namespace
+}  // namespace delos::verify
