@@ -9,6 +9,11 @@
 //   delosctl [...] healthz                   health JSON; exit 1 if UNHEALTHY
 //   delosctl [...] flight                    flight-recorder tail
 //   delosctl [...] trace <id>                one end-to-end trace
+//   delosctl [...] latency                   per-stage latency attribution
+//   delosctl [...] slow [id]                 slow-trace exemplars (detail with id)
+//
+// `--json` switches status/top/metrics/latency/slow to machine-readable
+// JSON (appends ?format=json to the admin path) for scripting and CI.
 //
 // `--demo` boots a single-server Zelos cluster in-process, drives a short
 // workload, serves it on an ephemeral loopback port, and runs the requested
@@ -35,7 +40,7 @@ namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: delosctl [--host HOST] [--port PORT] [--demo] COMMAND [ARG]\n"
+               "usage: delosctl [--host HOST] [--port PORT] [--demo] [--json] COMMAND [ARG]\n"
                "\n"
                "commands:\n"
                "  status       per-engine health table\n"
@@ -45,8 +50,11 @@ void PrintUsage() {
                "  healthz      health report (exit 1 when UNHEALTHY)\n"
                "  flight       flight-recorder tail\n"
                "  trace ID     render trace ID\n"
+               "  latency      per-stage latency attribution + critical-path dominance\n"
+               "  slow [ID]    slow-trace exemplar list (or one exemplar's detail)\n"
                "\n"
-               "  --demo       run against an in-process single-server Zelos cluster\n");
+               "  --demo       run against an in-process single-server Zelos cluster\n"
+               "  --json       machine-readable output (status/top/metrics/latency/slow)\n");
 }
 
 // Maps a command (+ optional argument) to an admin-endpoint path; empty on
@@ -58,6 +66,10 @@ std::string CommandPath(const std::string& command, const std::string& arg) {
   if (command == "metrics") return "/metrics";
   if (command == "healthz") return "/healthz";
   if (command == "flight") return "/flight";
+  if (command == "latency") return "/latency";
+  if (command == "slow") {
+    return arg.empty() ? "/slow" : "/slow/" + arg;
+  }
   if (command == "trace") {
     if (arg.empty()) {
       std::fprintf(stderr, "delosctl: trace needs an id (see /flight for recent ids)\n");
@@ -69,11 +81,14 @@ std::string CommandPath(const std::string& command, const std::string& arg) {
 }
 
 int RunCommand(const std::string& host, uint16_t port, const std::string& command,
-               const std::string& arg) {
-  const std::string path = CommandPath(command, arg);
+               const std::string& arg, bool json) {
+  std::string path = CommandPath(command, arg);
   if (path.empty()) {
     PrintUsage();
     return 2;
+  }
+  if (json) {
+    path += "?format=json";
   }
   int status = 0;
   std::string body;
@@ -94,7 +109,7 @@ int RunCommand(const std::string& host, uint16_t port, const std::string& comman
 
 // The --demo cluster: one Zelos server with the production-shaped stack,
 // short workload, admin server on an ephemeral port.
-int RunDemo(const std::string& command, const std::string& arg) {
+int RunDemo(const std::string& command, const std::string& arg, bool json) {
   std::map<std::string, std::unique_ptr<zelos::ZelosApplicator>> apps;
   Tracer tracer;
   Cluster::Options options;
@@ -136,7 +151,7 @@ int RunDemo(const std::string& command, const std::string& arg) {
   if (command == "trace" && trace_arg.empty()) {
     trace_arg = std::to_string(tracer.last_trace_id());
   }
-  const int rc = RunCommand("127.0.0.1", admin.port(), command, trace_arg);
+  const int rc = RunCommand("127.0.0.1", admin.port(), command, trace_arg, json);
   admin.Stop();
   cluster.server(0).Stop();
   return rc;
@@ -148,6 +163,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 7331;
   bool demo = false;
+  bool json = false;
   int i = 1;
   for (; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -157,6 +173,8 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (flag == "--demo") {
       demo = true;
+    } else if (flag == "--json") {
+      json = true;
     } else if (flag == "--help" || flag == "-h") {
       PrintUsage();
       return 0;
@@ -171,7 +189,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[i];
   const std::string arg = i + 1 < argc ? argv[i + 1] : "";
   if (demo) {
-    return RunDemo(command, arg);
+    return RunDemo(command, arg, json);
   }
-  return RunCommand(host, port, command, arg);
+  return RunCommand(host, port, command, arg, json);
 }

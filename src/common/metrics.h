@@ -56,9 +56,20 @@ class Gauge {
 };
 
 // Log-bucketed histogram for microsecond latencies (covers 1 µs .. ~17 min).
+//
+// By default the bucket layout is the fixed linear+log scheme below; a
+// histogram can instead be registered with explicit bucket upper bounds
+// (sorted, strictly increasing) when a stage needs finer multi-ms
+// resolution than the ~6%-error default provides. Values above the last
+// explicit bound land in an implicit overflow bucket whose reported upper
+// bound saturates at the last explicit bound (Max() keeps the exact value).
 class Histogram {
  public:
   Histogram();
+  // Custom layout: bucket i covers (bounds[i-1], bounds[i]]; one implicit
+  // overflow bucket is appended. Bounds must be sorted and strictly
+  // increasing; invalid bounds fall back to the default layout.
+  explicit Histogram(std::vector<int64_t> bucket_bounds);
 
   void Record(int64_t value_micros);
 
@@ -82,11 +93,22 @@ class Histogram {
   };
   CumulativeSnapshot Snapshot() const;
 
+  // Explicit bucket bounds, empty for the default layout. Windowed
+  // time-series snapshots carry this alongside the bucket vector so
+  // per-window percentiles use the right layout.
+  const std::vector<int64_t>& bucket_bounds() const { return custom_bounds_; }
+
   // Approximate percentile over a raw bucket-count vector (e.g. the delta
-  // between two CumulativeSnapshots). Returns 0 for an empty vector.
+  // between two CumulativeSnapshots). Returns 0 for an empty vector. The
+  // two-argument forms assume the default layout; pass the histogram's
+  // bucket_bounds() for custom layouts (empty = default).
   static int64_t PercentileOfBuckets(const std::vector<uint64_t>& buckets, double p);
+  static int64_t PercentileOfBuckets(const std::vector<uint64_t>& buckets, double p,
+                                     const std::vector<int64_t>& bounds);
   // Upper bound of the highest non-empty bucket (a window's max estimate).
   static int64_t MaxOfBuckets(const std::vector<uint64_t>& buckets);
+  static int64_t MaxOfBuckets(const std::vector<uint64_t>& buckets,
+                              const std::vector<int64_t>& bounds);
 
  private:
   // 32 linear buckets + 16 sub-buckets per power of two up to 2^31 µs
@@ -95,6 +117,11 @@ class Histogram {
   static int BucketFor(int64_t value);
   static int64_t BucketUpperBound(int index);
 
+  int BucketIndex(int64_t value) const;
+  int64_t UpperBound(int index) const;
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+  std::vector<int64_t> custom_bounds_;  // empty = default layout
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> total_count_{0};
   std::atomic<int64_t> total_sum_{0};
@@ -107,6 +134,10 @@ class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  // Registers `name` with explicit bucket bounds (see Histogram). If the
+  // histogram already exists, the existing instance wins and the bounds are
+  // ignored — first registration fixes the layout.
+  Histogram* GetHistogram(const std::string& name, const std::vector<int64_t>& bucket_bounds);
   Gauge* GetGauge(const std::string& name);
 
   // Snapshot of all metric names currently registered.
@@ -117,6 +148,11 @@ class MetricsRegistry {
   // Renders "name count=.. p50=.. p99=.." lines (dashboard-style output used
   // by the Figure 11 bench).
   std::string Render() const;
+
+  // Machine-readable exposition for `delosctl --json`:
+  // {"counters":{..},"gauges":{..},"histograms":{name:{count,mean,p50,p99,
+  // p999,max}}}.
+  std::string RenderJson() const;
 
   // Prometheus-style text exposition: one "# TYPE" comment per metric,
   // counters/gauges as bare samples, histograms as summaries (quantile

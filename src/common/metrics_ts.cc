@@ -65,7 +65,10 @@ void TimeSeriesStore::Commit(int64_t now_micros, std::map<std::string, uint64_t>
   MetricWindow window;
   window.index = next_index_++;
   window.start_micros = last_snapshot_micros_;
-  window.end_micros = now_micros;
+  // A backward clock jump (NTP step, sim clock reuse) must not produce a
+  // negative-width window: clamp the close to the open. Rates over the
+  // zero-width window read 0 (RatePerSecond guards span <= 0).
+  window.end_micros = std::max(now_micros, window.start_micros);
 
   for (const auto& [name, value] : counters) {
     uint64_t delta = value;
@@ -106,17 +109,21 @@ void TimeSeriesStore::Commit(int64_t now_micros, std::map<std::string, uint64_t>
       delta.count = hist.count;
       delta.sum = hist.sum;
     }
-    delta.p50 = Histogram::PercentileOfBuckets(bucket_delta, 50);
-    delta.p99 = Histogram::PercentileOfBuckets(bucket_delta, 99);
-    delta.max = Histogram::MaxOfBuckets(bucket_delta);
+    delta.p50 = Histogram::PercentileOfBuckets(bucket_delta, 50, hist.bounds);
+    delta.p99 = Histogram::PercentileOfBuckets(bucket_delta, 99, hist.bounds);
+    delta.p999 = Histogram::PercentileOfBuckets(bucket_delta, 99.9, hist.bounds);
+    delta.max = Histogram::MaxOfBuckets(bucket_delta, hist.bounds);
     window.histograms[name] = delta;
   }
 
+  const int64_t window_end = window.end_micros;
   windows_.push_back(std::move(window));
   while (windows_.size() > capacity_) {
     windows_.pop_front();
   }
-  last_snapshot_micros_ = now_micros;
+  // Track the clamped close, not the raw timestamp, so a backward jump does
+  // not drag subsequent window opens backward in time.
+  last_snapshot_micros_ = window_end;
   prev_.counters = std::move(counters);
   prev_.histograms = std::move(histograms);
 }
@@ -211,7 +218,8 @@ std::string TimeSeriesStore::RenderJson(size_t last_n) const {
       if (!first) out << ",";
       first = false;
       out << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
-          << ",\"p50\":" << h.p50 << ",\"p99\":" << h.p99 << ",\"max\":" << h.max << "}";
+          << ",\"p50\":" << h.p50 << ",\"p99\":" << h.p99 << ",\"p999\":" << h.p999
+          << ",\"max\":" << h.max << "}";
     }
     out << "}}";
   }
@@ -266,13 +274,13 @@ std::string TimeSeriesStore::RenderTable(size_t last_n) const {
     std::snprintf(line, sizeof(line), "%-44s %14lld\n", name.c_str(), (long long)value);
     out << line;
   }
-  std::snprintf(line, sizeof(line), "%-44s %8s %8s %8s %8s\n", "histogram (latest window)",
-                "count", "p50", "p99", "max");
+  std::snprintf(line, sizeof(line), "%-44s %8s %8s %8s %8s %8s\n", "histogram (latest window)",
+                "count", "p50", "p99", "p999", "max");
   out << line;
   for (const auto& [name, h] : hist_latest) {
-    std::snprintf(line, sizeof(line), "%-44s %8llu %8lld %8lld %8lld\n", name.c_str(),
+    std::snprintf(line, sizeof(line), "%-44s %8llu %8lld %8lld %8lld %8lld\n", name.c_str(),
                   (unsigned long long)h.count, (long long)h.p50, (long long)h.p99,
-                  (long long)h.max);
+                  (long long)h.p999, (long long)h.max);
     out << line;
   }
   return out.str();

@@ -38,6 +38,7 @@ struct MetricWindow {
     int64_t sum = 0;
     int64_t p50 = 0;
     int64_t p99 = 0;
+    int64_t p999 = 0;
     int64_t max = 0;  // max of the window's samples (bucket upper bound)
   };
 
@@ -87,6 +88,7 @@ class TimeSeriesStore {
     std::map<std::string, uint64_t> counters;
     struct Hist {
       std::vector<uint64_t> buckets;
+      std::vector<int64_t> bounds;  // explicit bucket bounds, empty = default
       uint64_t count = 0;
       int64_t sum = 0;
     };

@@ -41,17 +41,38 @@ uint64_t Tracer::last_trace_id() const {
 int64_t Tracer::NowMicros() const { return options_.clock->NowMicros(); }
 
 void Tracer::RecordSpan(uint64_t trace_id, std::string_view name, std::string_view server,
-                        int64_t start_micros, int64_t end_micros) {
+                        int64_t start_micros, int64_t end_micros, bool failed) {
   TraceSpan span;
   span.trace_id = trace_id;
   span.name = std::string(name);
   span.server = std::string(server);
   span.start_micros = start_micros;
   span.end_micros = end_micros;
+  span.failed = failed;
   std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [_, observer] : observers_) {
+    observer(span);
+  }
   spans_.push_back(std::move(span));
   while (spans_.size() > options_.max_spans) {
     spans_.pop_front();
+  }
+}
+
+uint64_t Tracer::AddObserver(SpanObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_observer_id_++;
+  observers_.emplace_back(id, std::move(observer));
+  return id;
+}
+
+void Tracer::RemoveObserver(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == id) {
+      observers_.erase(it);
+      break;
+    }
   }
 }
 
@@ -80,7 +101,8 @@ std::string Tracer::Render(uint64_t trace_id) const {
   out << "trace " << trace_id << " (" << spans.size() << " spans)\n";
   for (const TraceSpan& span : spans) {
     out << "  [" << span.start_micros << ".." << span.end_micros << "us] "
-        << (span.server.empty() ? "client" : span.server) << " " << span.name << "\n";
+        << (span.server.empty() ? "client" : span.server) << " " << span.name
+        << (span.failed ? " FAILED" : "") << "\n";
   }
   return out.str();
 }

@@ -32,9 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -51,6 +53,10 @@ struct TraceSpan {
   std::string server;  // replica that recorded the span
   int64_t start_micros = 0;
   int64_t end_micros = 0;
+  // True when the operation the span covers ended in error. Only root
+  // ("client.propose") spans set this today; the latency attributor uses it
+  // to force-capture failed proposals as slow-trace exemplars.
+  bool failed = false;
 };
 
 // Collects spans for all proposals of one cluster. Record is cheap (one
@@ -77,7 +83,19 @@ class Tracer {
   int64_t NowMicros() const;
 
   void RecordSpan(uint64_t trace_id, std::string_view name, std::string_view server,
-                  int64_t start_micros, int64_t end_micros);
+                  int64_t start_micros, int64_t end_micros, bool failed = false);
+
+  // Span observers (the latency attributor's feed). Each completed span is
+  // delivered synchronously on the recording thread, under the same mutex
+  // that guards the span ring — dispatch adds zero extra synchronization to
+  // the record path, and with no observers the loop body never runs.
+  // AddObserver returns a registration id; observers MUST be removed before
+  // their owner dies — sim servers are torn down and rebuilt mid-run while
+  // the cluster-wide Tracer lives on. Observers must not call back into the
+  // Tracer (Collect/Render/RecordSpan) or they would self-deadlock.
+  using SpanObserver = std::function<void(const TraceSpan&)>;
+  uint64_t AddObserver(SpanObserver observer);
+  void RemoveObserver(uint64_t id);
 
   // All spans recorded for `trace_id`, deterministically ordered by
   // (start, end, server, name) — thread arrival order never shows through.
@@ -95,6 +113,8 @@ class Tracer {
   std::atomic<uint64_t> next_id_{1};
   mutable std::mutex mu_;
   std::deque<TraceSpan> spans_;
+  uint64_t next_observer_id_ = 1;
+  std::vector<std::pair<uint64_t, SpanObserver>> observers_;
 };
 
 // Event kinds the flight recorder knows about. Fixed small enum so a dump

@@ -206,10 +206,11 @@ Future<std::any> BaseEngine::Propose(LogEntry entry) {
         inflight_appends_.fetch_sub(1, std::memory_order_acq_rel);
       });
   if (trace_root) {
-    future.Then([tracer, trace_ids, append_start, server = options_.server_id](Result<std::any>) {
+    future.Then([tracer, trace_ids, append_start,
+                 server = options_.server_id](Result<std::any> result) {
       const int64_t end = tracer->NowMicros();
       for (const uint64_t id : trace_ids) {
-        tracer->RecordSpan(id, "client.propose", server, append_start, end);
+        tracer->RecordSpan(id, "client.propose", server, append_start, end, !result.ok());
       }
     });
   }

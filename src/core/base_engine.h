@@ -96,6 +96,14 @@ struct BaseEngineOptions {
   // untraced entries, records the shared-log append span and per-record
   // apply spans, and completes the client-visible root span.
   Tracer* tracer = nullptr;
+  // Tail-latency attribution (consumed by ClusterServer, not BaseEngine):
+  // when tracing is on and this is true, the server subscribes a
+  // LatencyAttributor to the cluster Tracer — per-stage latency.stage.*
+  // histograms, critical-path dominance, and slow-trace exemplar capture.
+  bool latency_attribution = true;
+  // Explicit bucket bounds for the attributor's histograms (empty = the
+  // default log-bucketed layout).
+  std::vector<int64_t> latency_stage_bucket_bounds;
   // Optional (but in practice always-on: ClusterServer defaults it to the
   // server's own ring) flight recorder for appends, batch commits, flushes,
   // trims, and crashes.

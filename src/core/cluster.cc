@@ -26,6 +26,22 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
   if (base_options.clock == nullptr) {
     base_options.clock = RealClock::Instance();
   }
+  // Tail-latency attribution plane: one attributor per server, subscribed
+  // to the cluster-wide Tracer and filtering on this server's span label.
+  // The observer registration is explicitly undone in the destructor —
+  // servers are torn down and rebuilt on (simulated) crash while the tracer
+  // lives on.
+  if (tracer_ != nullptr && base_options.latency_attribution) {
+    LatencyAttributor::Options latency_options;
+    latency_options.metrics = &metrics_;
+    latency_options.server = id_;
+    latency_options.recorder = recorder_;
+    latency_options.stage_bucket_bounds = base_options.latency_stage_bucket_bounds;
+    latency_ = std::make_unique<LatencyAttributor>(std::move(latency_options));
+    LatencyAttributor* attributor = latency_.get();
+    tracer_observer_id_ =
+        tracer_->AddObserver([attributor](const TraceSpan& span) { attributor->OnSpan(span); });
+  }
   // Per-server read cache: wrap the shared log before anything holds a
   // reference, so the base engine's apply/prefetch reads, the
   // LogBackupEngine's segment uploads (wired via base()->shared_log()), and
@@ -52,6 +68,12 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
 }
 
 ClusterServer::~ClusterServer() {
+  // Unhook the latency attributor before anything it references dies; spans
+  // recorded by other servers' threads may be in flight on the tracer.
+  if (tracer_observer_id_ != 0) {
+    tracer_->RemoveObserver(tracer_observer_id_);
+    tracer_observer_id_ = 0;
+  }
   Stop();
   // Tear the stack down top-first: an engine's destructor may still talk to
   // the engines below it (e.g. the BatchingEngine flushes its open batch).

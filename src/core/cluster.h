@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/latency.h"
 #include "src/common/metrics_ts.h"
 #include "src/core/base_engine.h"
 #include "src/core/health.h"
@@ -75,6 +76,9 @@ class ClusterServer {
   // tracing is off).
   FlightRecorder* flight_recorder() { return recorder_; }
   Tracer* tracer() { return tracer_; }
+  // The tail-latency attribution plane (nullptr when tracing is off or
+  // latency_attribution was disabled in the base options).
+  LatencyAttributor* latency() { return latency_.get(); }
 
   // Health plane. The watchdog holds every engine of this server (base
   // included) plus any applicator registered via RegisterHealthTarget; it is
@@ -116,6 +120,8 @@ class ClusterServer {
   FlightRecorder own_recorder_;
   FlightRecorder* recorder_ = nullptr;  // = own_recorder_ unless injected
   Tracer* tracer_ = nullptr;
+  std::unique_ptr<LatencyAttributor> latency_;
+  uint64_t tracer_observer_id_ = 0;  // 0 = not registered
   TimeSeriesStore series_;
   std::unique_ptr<Watchdog> watchdog_;
   std::unique_ptr<BaseEngine> base_;

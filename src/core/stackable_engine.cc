@@ -59,10 +59,10 @@ void StackableEngine::RecordRootSpanOnCompletion(Future<std::any>& future,
     return;
   }
   future.Then(
-      [tracer, ids = std::move(ids), start, server = server_label_](Result<std::any>) {
+      [tracer, ids = std::move(ids), start, server = server_label_](Result<std::any> result) {
         const int64_t end = tracer->NowMicros();
         for (const uint64_t id : ids) {
-          tracer->RecordSpan(id, "client.propose", server, start, end);
+          tracer->RecordSpan(id, "client.propose", server, start, end, !result.ok());
         }
       });
 }

@@ -136,16 +136,26 @@ void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
       ->Propose(std::move(batch))
       .Then([waiters = std::move(waiters), tracer,
              server = server_label()](Result<std::any> result) {
+        const std::vector<std::any>* batch_results = nullptr;
+        if (result.ok()) {
+          batch_results = &std::any_cast<const std::vector<std::any>&>(result.value());
+        }
         if (tracer != nullptr) {
           // Sub-entries whose ids were minted here get their client-visible
-          // root span now that the batch's outcome is known.
+          // root span now that the batch's outcome is known — including the
+          // per-sub-entry outcome, so a failed constituent is marked failed
+          // even when the batch as a whole committed.
           const int64_t end = tracer->NowMicros();
-          for (const Waiter& waiter : waiters) {
+          for (size_t i = 0; i < waiters.size(); ++i) {
+            const Waiter& waiter = waiters[i];
             if (!waiter.trace_root) {
               continue;
             }
+            const bool failed = batch_results == nullptr || i >= batch_results->size() ||
+                                IsApplyError((*batch_results)[i]);
             for (const uint64_t id : waiter.trace_ids) {
-              tracer->RecordSpan(id, "client.propose", server, waiter.enqueue_micros, end);
+              tracer->RecordSpan(id, "client.propose", server, waiter.enqueue_micros, end,
+                                 failed);
             }
           }
         }
@@ -156,7 +166,7 @@ void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
           return;
         }
         // The batch apply returned one result per sub-entry.
-        const auto& results = std::any_cast<const std::vector<std::any>&>(result.value());
+        const auto& results = *batch_results;
         for (size_t i = 0; i < waiters.size(); ++i) {
           if (i >= results.size()) {
             waiters[i].promise->SetException(std::make_exception_ptr(

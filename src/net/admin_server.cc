@@ -49,10 +49,14 @@ const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 400:
+      return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
     case 503:
       return "Service Unavailable";
     default:
@@ -64,26 +68,42 @@ const char* StatusText(int status) {
 
 AdminEndpoint::AdminEndpoint(ClusterServer* server) : server_(server) {}
 
+namespace {
+
+// Parses "/slow/<id>"-style suffixes. Returns false unless the whole suffix
+// is a decimal trace id.
+bool ParseTraceId(const std::string& id_str, uint64_t* id) {
+  char* end = nullptr;
+  *id = std::strtoull(id_str.c_str(), &end, 10);
+  return end != id_str.c_str() && *end == '\0';
+}
+
+}  // namespace
+
 AdminResponse AdminEndpoint::Handle(const std::string& raw_path) const {
   std::string path = raw_path;
+  bool json = false;
   const size_t query = path.find('?');
   if (query != std::string::npos) {
+    const std::string query_string = path.substr(query + 1);
     path.resize(query);
+    // &-separated parameters; the only one recognized today.
+    json = ("&" + query_string + "&").find("&format=json&") != std::string::npos;
   }
   if (path == "/metrics") {
-    return Metrics();
+    return Metrics(json);
   }
   if (path == "/healthz") {
     return Healthz();
   }
   if (path == "/status" || path == "/") {
-    return Status();
+    return Status(json);
   }
   if (path == "/stack") {
     return Stack();
   }
   if (path == "/top") {
-    return Top();
+    return Top(json);
   }
   if (path == "/series") {
     return Series();
@@ -91,12 +111,24 @@ AdminResponse AdminEndpoint::Handle(const std::string& raw_path) const {
   if (path == "/flight") {
     return Flight();
   }
+  if (path == "/latency") {
+    return Latency(json);
+  }
+  if (path == "/slow") {
+    return Slow(json);
+  }
+  constexpr char kSlowPrefix[] = "/slow/";
+  if (path.rfind(kSlowPrefix, 0) == 0) {
+    uint64_t id = 0;
+    if (!ParseTraceId(path.substr(sizeof(kSlowPrefix) - 1), &id)) {
+      return NotFound(path);
+    }
+    return SlowDetail(id, json);
+  }
   constexpr char kTracePrefix[] = "/trace/";
   if (path.rfind(kTracePrefix, 0) == 0) {
-    const std::string id_str = path.substr(sizeof(kTracePrefix) - 1);
-    char* end = nullptr;
-    const uint64_t id = std::strtoull(id_str.c_str(), &end, 10);
-    if (end == id_str.c_str() || *end != '\0') {
+    uint64_t id = 0;
+    if (!ParseTraceId(path.substr(sizeof(kTracePrefix) - 1), &id)) {
       return NotFound(path);
     }
     return Trace(id);
@@ -104,7 +136,10 @@ AdminResponse AdminEndpoint::Handle(const std::string& raw_path) const {
   return NotFound(path);
 }
 
-AdminResponse AdminEndpoint::Metrics() const {
+AdminResponse AdminEndpoint::Metrics(bool json) const {
+  if (json) {
+    return AdminResponse{200, "application/json", server_->metrics()->RenderJson() + "\n"};
+  }
   return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                        server_->metrics()->RenderPrometheus()};
 }
@@ -121,8 +156,19 @@ AdminResponse AdminEndpoint::Healthz() const {
   return response;
 }
 
-AdminResponse AdminEndpoint::Status() const {
+AdminResponse AdminEndpoint::Status(bool json) const {
   const std::vector<HealthReport> reports = server_->CollectHealth();
+  if (json) {
+    std::ostringstream out;
+    out << "{\"server\":\"" << JsonEscape(server_->id()) << "\",\"aggregate\":\""
+        << HealthStateName(AggregateHealth(reports)) << "\",\"applied_position\":"
+        << server_->base()->applied_position() << ",\"durable_position\":"
+        << server_->base()->durable_position() << ",\"apply_records\":"
+        << server_->base()->apply_records() << ",\"apply_batches\":"
+        << server_->base()->apply_batches() << ",\"components\":" << RenderHealthJson(reports)
+        << "}\n";
+    return AdminResponse{200, "application/json", out.str()};
+  }
   std::ostringstream out;
   out << "server " << server_->id() << ": " << HealthStateName(AggregateHealth(reports))
       << "\n";
@@ -169,7 +215,10 @@ AdminResponse AdminEndpoint::Stack() const {
   return AdminResponse{200, "application/json", out.str()};
 }
 
-AdminResponse AdminEndpoint::Top() const {
+AdminResponse AdminEndpoint::Top(bool json) const {
+  if (json) {
+    return AdminResponse{200, "application/json", server_->series()->RenderJson(10) + "\n"};
+  }
   return AdminResponse{200, "text/plain; charset=utf-8", server_->series()->RenderTable(10)};
 }
 
@@ -187,6 +236,48 @@ AdminResponse AdminEndpoint::Trace(uint64_t trace_id) const {
     return AdminResponse{404, "text/plain; charset=utf-8", "tracing is not enabled\n"};
   }
   return AdminResponse{200, "text/plain; charset=utf-8", tracer->Render(trace_id)};
+}
+
+AdminResponse AdminEndpoint::Latency(bool json) const {
+  LatencyAttributor* latency = server_->latency();
+  if (latency == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "latency attribution is not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", latency->RenderLatencyJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", latency->RenderLatency()};
+}
+
+AdminResponse AdminEndpoint::Slow(bool json) const {
+  LatencyAttributor* latency = server_->latency();
+  if (latency == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "latency attribution is not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", latency->RenderSlowListJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", latency->RenderSlowList()};
+}
+
+AdminResponse AdminEndpoint::SlowDetail(uint64_t trace_id, bool json) const {
+  LatencyAttributor* latency = server_->latency();
+  if (latency == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "latency attribution is not enabled\n"};
+  }
+  const std::optional<std::string> body =
+      json ? latency->RenderSlowDetailJson(trace_id) : latency->RenderSlowDetail(trace_id);
+  if (!body.has_value()) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "no slow trace " + std::to_string(trace_id) + "\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", *body + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", *body};
 }
 
 AdminServer::AdminServer(AdminEndpoint endpoint, Options options)
@@ -265,29 +356,42 @@ void AdminServer::HandleConnection(int fd) {
   timeout.tv_sec = 2;
   timeout.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  constexpr size_t kMaxRequestBytes = 16 * 1024;
   std::string request;
   char buffer[2048];
-  while (request.size() < 16 * 1024 && request.find("\r\n\r\n") == std::string::npos) {
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n <= 0) {
       break;
     }
     request.append(buffer, static_cast<size_t>(n));
   }
-  const size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) {
-    return;
-  }
-  std::istringstream line(request.substr(0, line_end));
-  std::string method;
-  std::string path;
-  line >> method >> path;
 
   AdminResponse response;
-  if (method != "GET") {
-    response = AdminResponse{405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  const size_t line_end = request.find("\r\n");
+  if (request.size() >= kMaxRequestBytes &&
+      request.find("\r\n\r\n") == std::string::npos) {
+    // The client is still streaming headers past our bound: reject rather
+    // than buffer without limit.
+    response = AdminResponse{431, "text/plain; charset=utf-8", "request too large\n"};
+  } else if (line_end == std::string::npos) {
+    if (request.empty()) {
+      return;  // client connected and went away; nothing to answer
+    }
+    response = AdminResponse{400, "text/plain; charset=utf-8", "malformed request line\n"};
   } else {
-    response = endpoint_.Handle(path);
+    std::istringstream line(request.substr(0, line_end));
+    std::string method;
+    std::string path;
+    line >> method >> path;
+    if (method.empty() || path.empty() || path[0] != '/') {
+      response = AdminResponse{400, "text/plain; charset=utf-8", "malformed request line\n"};
+    } else if (method != "GET") {
+      response = AdminResponse{405, "text/plain; charset=utf-8", "only GET is supported\n"};
+    } else {
+      response = endpoint_.Handle(path);
+    }
   }
   std::ostringstream out;
   out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"

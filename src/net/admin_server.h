@@ -7,9 +7,13 @@
 //    watchdog pass; non-200 when UNHEALTHY), /status (human-readable
 //    component table), /stack (JSON engine-stack + cursor introspection),
 //    /top (per-metric rate table from the time-series ring), /series
-//    (time-series JSON), /flight (recorder tail), /trace/<id>. Handle() is a
-//    plain function call, so unit tests and the simulator exercise every
-//    route with no sockets.
+//    (time-series JSON), /flight (recorder tail), /trace/<id>, /latency
+//    (per-stage latency attribution + critical-path dominance), /slow
+//    (slow-trace exemplar list; /slow/<trace-id> detail). Appending
+//    ?format=json to /metrics, /status, /top, /latency, or /slow switches
+//    the body to machine-readable JSON (the `delosctl --json` transport).
+//    Handle() is a plain function call, so unit tests and the simulator
+//    exercise every route with no sockets.
 //
 //  * AdminServer — a minimal HTTP/1.1 server that binds a loopback socket
 //    and serves an AdminEndpoint. One thread, serial request handling
@@ -42,19 +46,23 @@ class AdminEndpoint {
   // the endpoint. `tracer` may be null (then /trace returns 404).
   explicit AdminEndpoint(ClusterServer* server);
 
-  // Dispatches one request path ("/metrics", "/trace/7", ...). Query
-  // strings are ignored. Unknown paths return 404.
+  // Dispatches one request path ("/metrics", "/trace/7", ...). The only
+  // recognized query parameter is format=json; everything else in a query
+  // string is ignored. Unknown paths return 404.
   AdminResponse Handle(const std::string& path) const;
 
  private:
-  AdminResponse Metrics() const;
+  AdminResponse Metrics(bool json) const;
   AdminResponse Healthz() const;
-  AdminResponse Status() const;
+  AdminResponse Status(bool json) const;
   AdminResponse Stack() const;
-  AdminResponse Top() const;
+  AdminResponse Top(bool json) const;
   AdminResponse Series() const;
   AdminResponse Flight() const;
   AdminResponse Trace(uint64_t trace_id) const;
+  AdminResponse Latency(bool json) const;
+  AdminResponse Slow(bool json) const;
+  AdminResponse SlowDetail(uint64_t trace_id, bool json) const;
 
   ClusterServer* server_;
 };

@@ -251,6 +251,18 @@ class SimCluster::Impl {
             "== server " + rig.id + " flight recorder ==\n" + rig.recorder->Dump();
       }
     }
+    // Latency attribution snapshot from each surviving rig (a rebuilt server
+    // carries only its final incarnation's view — rebuilds are themselves
+    // schedule-determined, so the text stays byte-identical per seed).
+    for (Rig& rig : rigs_) {
+      if (rig.server == nullptr || rig.server->latency() == nullptr) {
+        continue;
+      }
+      report.latency_summary += "== server " + rig.id + " latency ==\n" +
+                                rig.server->latency()->RenderLatency();
+      report.slow_exemplars += "== server " + rig.id + " slow traces ==\n" +
+                               rig.server->latency()->RenderSlowList();
+    }
     rigs_.clear();
     inner_log_.reset();
     std::filesystem::remove_all(run_dir_, ec);

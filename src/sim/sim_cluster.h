@@ -124,6 +124,13 @@ struct RunReport {
   uint64_t failing_trace_id = 0;  // newest traced apply anywhere, failures only
   std::string flight_dump;        // per-server ring dumps, failures only
 
+  // Latency attribution (schedule-determined: the sim trace clock is pinned,
+  // so every duration is 0 and exemplar capture reduces to errored proposals
+  // — two replays of one seed must produce byte-identical text here). Like
+  // last_trace, excluded from Summary().
+  std::string latency_summary;  // per-server RenderLatency()
+  std::string slow_exemplars;   // per-server RenderSlowList()
+
   // Linearizability audit (verify workloads only; verify_ran stays false for
   // kLegacy and the verdict renders as "n/a"). A non-linearizable history or
   // an exhausted search budget also appends a failure string, so ok() covers

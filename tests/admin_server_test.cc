@@ -2,6 +2,12 @@
 // the HTTP server itself over a real loopback connection.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -140,6 +146,74 @@ TEST_F(AdminServerTest, FlightAndTraceRoutesServeTheRecorders) {
   EXPECT_NE(trace.body.find("base.append"), std::string::npos);
 }
 
+TEST_F(AdminServerTest, LatencyRouteRendersTheStageTable) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse response = endpoint.Handle("/latency");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("latency attribution: server server0"), std::string::npos);
+  EXPECT_NE(response.body.find("e2e"), std::string::npos);
+  EXPECT_NE(response.body.find("base.append"), std::string::npos);
+  // The conservation footer: attributed + unattributed == end-to-end.
+  EXPECT_NE(response.body.find("100.0% of end-to-end"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, SlowRoutesServeExemplars) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse list = endpoint.Handle("/slow");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_NE(list.body.find("slow traces:"), std::string::npos);
+  EXPECT_EQ(endpoint.Handle("/slow/999999").status, 404);
+  EXPECT_EQ(endpoint.Handle("/slow/junk").status, 404);
+}
+
+TEST_F(AdminServerTest, LatencyRoutesReturn404WhenAttributionIsDisabled) {
+  Tracer tracer;
+  Cluster::Options options;
+  options.num_servers = 1;
+  options.base_options.tracer = &tracer;
+  options.base_options.latency_attribution = false;
+  std::map<std::string, std::unique_ptr<zelos::ZelosApplicator>> apps;
+  Cluster cluster(options, [&](ClusterServer& server) {
+    BuildStack(server, ZelosStackConfig(nullptr));
+    auto app = std::make_unique<zelos::ZelosApplicator>();
+    server.top()->RegisterUpcall(app.get());
+    apps[server.id()] = std::move(app);
+  });
+  AdminEndpoint endpoint(&cluster.server(0));
+  EXPECT_EQ(endpoint.Handle("/latency").status, 404);
+  EXPECT_EQ(endpoint.Handle("/slow").status, 404);
+  cluster.server(0).Stop();
+}
+
+TEST_F(AdminServerTest, FormatJsonSwitchesRoutesToMachineReadableBodies) {
+  AdminEndpoint endpoint(&server());
+  const AdminResponse metrics = endpoint.Handle("/metrics?format=json");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "application/json");
+  EXPECT_NE(metrics.body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.body.find("\"histograms\""), std::string::npos);
+
+  const AdminResponse status = endpoint.Handle("/status?format=json");
+  EXPECT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("\"server\":\"server0\""), std::string::npos);
+  EXPECT_NE(status.body.find("\"components\""), std::string::npos);
+
+  const AdminResponse top = endpoint.Handle("/top?format=json");
+  EXPECT_EQ(top.status, 200);
+  EXPECT_NE(top.body.find("\"windows\""), std::string::npos);
+
+  const AdminResponse latency = endpoint.Handle("/latency?format=json");
+  EXPECT_EQ(latency.status, 200);
+  EXPECT_NE(latency.body.find("\"stages\""), std::string::npos);
+
+  const AdminResponse slow = endpoint.Handle("/slow?format=json");
+  EXPECT_EQ(slow.status, 200);
+  EXPECT_NE(slow.body.find("\"traces\""), std::string::npos);
+
+  // Unknown query parameters stay ignored alongside format=json.
+  EXPECT_EQ(endpoint.Handle("/metrics?scrape=1&format=json").status, 200);
+}
+
 TEST_F(AdminServerTest, UnknownAndMalformedPathsReturn404) {
   AdminEndpoint endpoint(&server());
   EXPECT_EQ(endpoint.Handle("/nope").status, 404);
@@ -181,6 +255,86 @@ TEST_F(AdminServerTest, HttpServerServesRoutesOverLoopback) {
   admin.Stop();
   // After Stop the port no longer answers.
   EXPECT_FALSE(AdminHttpGet("127.0.0.1", admin.port(), "/healthz", &status, &body));
+}
+
+// Sends raw bytes to the admin server and returns everything it answered
+// (empty on connect failure). Shuts down the write side so the server's
+// header read loop terminates without waiting out its receive timeout.
+std::string RawAdminRequest(uint16_t port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(AdminServerTest, MalformedRequestLineReturns400) {
+  AdminServer admin{AdminEndpoint(&server())};
+  ASSERT_TRUE(admin.Start());
+  // No CRLF at all: not even a request line to parse.
+  EXPECT_NE(RawAdminRequest(admin.port(), "complete garbage").find("HTTP/1.1 400"),
+            std::string::npos);
+  // A request line with a method but no path.
+  EXPECT_NE(RawAdminRequest(admin.port(), "GET\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  // A path that does not start with '/'.
+  EXPECT_NE(RawAdminRequest(admin.port(), "GET metrics HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  // Wrong method on a well-formed line.
+  EXPECT_NE(RawAdminRequest(admin.port(), "POST /metrics HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  admin.Stop();
+}
+
+TEST_F(AdminServerTest, OversizedRequestReturns431) {
+  AdminServer admin{AdminEndpoint(&server())};
+  ASSERT_TRUE(admin.Start());
+  // 20 KB of headers with no terminating blank line: the server must stop
+  // buffering at its 16 KB bound and reject, not read forever.
+  std::string huge = "GET /metrics HTTP/1.1\r\n";
+  huge += "X-Padding: " + std::string(20 * 1024, 'a') + "\r\n";
+  const std::string response = RawAdminRequest(admin.port(), huge);
+  EXPECT_NE(response.find("HTTP/1.1 431"), std::string::npos);
+  EXPECT_NE(response.find("request too large"), std::string::npos);
+  admin.Stop();
+}
+
+TEST_F(AdminServerTest, UnknownRouteOverHttpReturns404) {
+  AdminServer admin{AdminEndpoint(&server())};
+  ASSERT_TRUE(admin.Start());
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(AdminHttpGet("127.0.0.1", admin.port(), "/definitely-not-a-route", &status,
+                           &body));
+  EXPECT_EQ(status, 404);
+  admin.Stop();
 }
 
 TEST_F(AdminServerTest, ServerRestartsCleanly) {

@@ -302,6 +302,73 @@ TEST(MetricsTest, HistogramValuesAboveBucketCapClampButKeepExactMax) {
   EXPECT_NEAR(hist.Mean(), static_cast<double>(huge), 1.0);
 }
 
+TEST(MetricsTest, HistogramP999TracksTheExtremeTail) {
+  Histogram hist;
+  for (int i = 0; i < 995; ++i) {
+    hist.Record(100);
+  }
+  for (int i = 0; i < 5; ++i) {
+    hist.Record(1'000'000);  // a 0.5% extreme tail
+  }
+  // p99 sits in the bulk; p99.9 must land on the outliers' bucket.
+  EXPECT_LE(hist.Percentile(99), 200);
+  EXPECT_GE(hist.Percentile(99.9), 900'000);
+
+  MetricsRegistry metrics;
+  metrics.GetHistogram("tail")->Record(100);
+  EXPECT_NE(metrics.Render().find("p999="), std::string::npos);
+  EXPECT_NE(metrics.RenderPrometheus().find("{quantile=\"0.999\"}"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramCustomBucketBounds) {
+  // Bucket i covers (bounds[i-1], bounds[i]]; an implicit overflow bucket
+  // saturates at the last bound.
+  Histogram hist({10, 100, 1000});
+  hist.Record(5);      // -> (.., 10]
+  hist.Record(50);     // -> (10, 100]
+  hist.Record(500);    // -> (100, 1000]
+  hist.Record(50'000); // -> overflow
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.Percentile(20), 10);
+  EXPECT_EQ(hist.Percentile(45), 100);
+  EXPECT_EQ(hist.Percentile(70), 1000);
+  // Percentiles saturate at the last bound; Max keeps the exact value.
+  EXPECT_EQ(hist.Percentile(99), 1000);
+  EXPECT_EQ(hist.Max(), 50'000);
+}
+
+TEST(MetricsTest, HistogramInvalidCustomBoundsFallBackToDefaultLayout) {
+  Histogram unsorted({100, 10});  // not strictly increasing
+  unsorted.Record(500);
+  EXPECT_GE(unsorted.Percentile(50), 400);  // default log-bucket resolution
+  Histogram negative({-5, 10});
+  negative.Record(7);
+  EXPECT_LE(negative.Percentile(50), 10);
+}
+
+TEST(MetricsTest, HistogramMergeAcrossLayoutsReBuckets) {
+  Histogram coarse({100, 10'000});
+  Histogram fine;  // default layout
+  fine.Record(50);
+  fine.Record(5'000);
+  coarse.Merge(fine);
+  EXPECT_EQ(coarse.count(), 2u);
+  // Each merged sample lands at its source bucket's upper bound, re-bucketed
+  // into the coarse layout.
+  EXPECT_EQ(coarse.Percentile(25), 100);
+  EXPECT_EQ(coarse.Percentile(95), 10'000);
+}
+
+TEST(MetricsTest, RegistryCustomBoundsFirstRegistrationWins) {
+  MetricsRegistry metrics;
+  Histogram* first = metrics.GetHistogram("lat", {10, 100});
+  Histogram* second = metrics.GetHistogram("lat", {1, 2, 3});
+  Histogram* plain = metrics.GetHistogram("lat");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, plain);
+  EXPECT_EQ(first->bucket_bounds(), (std::vector<int64_t>{10, 100}));
+}
+
 TEST(MetricsTest, HistogramConcurrentRecordVersusMerge) {
   Histogram src;
   constexpr int kThreads = 4;

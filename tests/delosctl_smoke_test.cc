@@ -37,13 +37,40 @@ CommandResult RunCli(const std::string& args) {
 }
 
 TEST(DelosctlSmoke, EverySubcommandSucceedsOverDemoCluster) {
-  for (const char* command :
-       {"status", "top", "stack", "metrics", "healthz", "flight", "trace"}) {
+  for (const char* command : {"status", "top", "stack", "metrics", "healthz", "flight",
+                              "trace", "latency", "slow"}) {
     SCOPED_TRACE(command);
     // "trace" with no id resolves to the demo run's most recent trace.
     const CommandResult result = RunCli(std::string("--demo ") + command);
     EXPECT_EQ(result.exit_code, 0) << "stdout:\n" << result.stdout_text;
     EXPECT_FALSE(result.stdout_text.empty());
+  }
+}
+
+TEST(DelosctlSmoke, LatencyShowsTheStageBreakdown) {
+  const CommandResult result = RunCli("--demo latency");
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("latency attribution"), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("base.append"), std::string::npos)
+      << result.stdout_text;
+  // The conservation footer: stage contributions sum to end-to-end.
+  EXPECT_NE(result.stdout_text.find("100.0% of end-to-end"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST(DelosctlSmoke, JsonFlagSwitchesOutputToMachineReadable) {
+  struct Case {
+    const char* command;
+    const char* marker;
+  };
+  for (const Case& c : {Case{"status", "\"components\""}, Case{"top", "\"windows\""},
+                        Case{"metrics", "\"histograms\""}, Case{"latency", "\"stages\""},
+                        Case{"slow", "\"traces\""}}) {
+    SCOPED_TRACE(c.command);
+    const CommandResult result = RunCli(std::string("--demo --json ") + c.command);
+    EXPECT_EQ(result.exit_code, 0) << "stdout:\n" << result.stdout_text;
+    EXPECT_NE(result.stdout_text.find(c.marker), std::string::npos) << result.stdout_text;
   }
 }
 

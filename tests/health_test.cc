@@ -87,6 +87,65 @@ TEST(TimeSeriesTest, CounterResetClampsDeltaAtZero) {
   EXPECT_EQ(store.Windows()[0].counter_deltas.at("ops"), 0u);
 }
 
+TEST(TimeSeriesTest, BackwardClockJumpClampsTheWindowAtItsStart) {
+  MetricsRegistry metrics;
+  TimeSeriesStore store(8);
+  metrics.SnapshotInto(store, 2'000'000);  // baseline at t=2s
+  metrics.GetCounter("ops")->Increment(10);
+  // The injected clock stepped backward (NTP step, or a sim reusing a rig):
+  // the window must clamp to zero width, never end before it starts.
+  metrics.SnapshotInto(store, 1'000'000);
+  ASSERT_EQ(store.window_count(), 1u);
+  auto windows = store.Windows();
+  EXPECT_EQ(windows[0].start_micros, 2'000'000);
+  EXPECT_EQ(windows[0].end_micros, 2'000'000);
+  EXPECT_EQ(windows[0].width_micros(), 0);
+  EXPECT_EQ(windows[0].counter_deltas.at("ops"), 10u);
+  // Zero-width windows contribute no rate (the division is guarded).
+  EXPECT_DOUBLE_EQ(store.RatePerSecond("ops", 1), 0.0);
+  // The next window opens at the clamped end — a backward jump must not
+  // drag subsequent windows' starts backward with it.
+  metrics.GetCounter("ops")->Increment(5);
+  metrics.SnapshotInto(store, 3'000'000);
+  windows = store.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1].start_micros, 2'000'000);
+  EXPECT_EQ(windows[1].end_micros, 3'000'000);
+  EXPECT_DOUBLE_EQ(store.RatePerSecond("ops", 1), 5.0);
+}
+
+TEST(TimeSeriesTest, DuplicateTimestampSnapshotsYieldZeroWidthWindows) {
+  MetricsRegistry metrics;
+  TimeSeriesStore store(8);
+  metrics.SnapshotInto(store, 1'000'000);  // baseline
+  metrics.GetCounter("ops")->Increment(100);
+  metrics.GetHistogram("lat")->Record(250);
+  metrics.SnapshotInto(store, 1'000'000);  // same timestamp (frozen sim clock)
+  ASSERT_EQ(store.window_count(), 1u);
+  const auto windows = store.Windows();
+  EXPECT_EQ(windows[0].width_micros(), 0);
+  // Deltas still land in the window — only the rate collapses to zero.
+  EXPECT_EQ(windows[0].counter_deltas.at("ops"), 100u);
+  EXPECT_EQ(windows[0].histograms.at("lat").count, 1u);
+  EXPECT_DOUBLE_EQ(store.RatePerSecond("ops", 1), 0.0);
+}
+
+TEST(TimeSeriesTest, CounterResetAcrossBackwardJumpStaysClamped) {
+  MetricsRegistry metrics;
+  TimeSeriesStore store(8);
+  metrics.GetCounter("ops")->Increment(100);
+  metrics.SnapshotInto(store, 5'000'000);  // baseline with a high cumulative
+  metrics.GetCounter("ops")->Reset();
+  metrics.GetCounter("ops")->Increment(3);
+  metrics.SnapshotInto(store, 4'000'000);  // reset AND a backward clock jump
+  ASSERT_EQ(store.window_count(), 1u);
+  // Both clamps hold at once: no wrapped 2^64 delta, no negative-width
+  // window feeding a nonsense rate.
+  EXPECT_EQ(store.Windows()[0].counter_deltas.at("ops"), 0u);
+  EXPECT_EQ(store.Windows()[0].width_micros(), 0);
+  EXPECT_DOUBLE_EQ(store.RatePerSecond("ops", 1), 0.0);
+}
+
 TEST(TimeSeriesTest, HistogramWindowsCarryPerWindowPercentiles) {
   MetricsRegistry metrics;
   TimeSeriesStore store(8);
