@@ -19,6 +19,9 @@
 #                                   # linearizability checker units, the N-seed
 #                                   # fault-sweep audit (default 24), mutation
 #                                   # self-tests, delosctl smoke test
+#   scripts/check.sh --workload     # workload-attribution suite only (label
+#                                   # `workload`): sketch units, attributor
+#                                   # taps, replay byte-identity sim sweep
 #
 # The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
 # count (default 200). Sanitizer suites run with a reduced count — each
@@ -95,9 +98,18 @@ if [[ "${1:-}" == "--verify" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--workload" ]]; then
+  echo "== workload-attribution suite (streaming sketches + replay identity) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build -L workload --output-on-failure -j "$JOBS"
+  echo "check.sh: workload-attribution suite passed"
+  exit 0
+fi
+
 SAN="${1:-}"
 if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', '--readpath', or '--verify N')" >&2
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', '--readpath', '--verify N', or '--workload')" >&2
   exit 2
 fi
 

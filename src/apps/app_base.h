@@ -7,11 +7,14 @@
 // varint op code + op-specific fields.
 #pragma once
 
+#include <unistd.h>
+
 #include <any>
 #include <string>
 
 #include "src/common/serde.h"
 #include "src/core/engine.h"
+#include "src/core/entry.h"
 
 namespace delos {
 
@@ -48,10 +51,25 @@ class AppWrapperBase {
  public:
   explicit AppWrapperBase(IEngine* top) : top_(top) {}
 
+  // Workload attribution identity: every op proposed through this wrapper
+  // is stamped with this id (piggybacked in the reserved client header; see
+  // core/entry.h) so the attribution plane can name noisy clients even on
+  // plain stacks with no session layer. Defaults to a stable per-process
+  // id; benches, the simulator, and multi-tenant callers set explicit ids.
+  void set_client_id(uint64_t id) { client_id_ = id; }
+  uint64_t client_id() const { return client_id_; }
+
+  // The process-wide default identity (stable for the process lifetime).
+  static uint64_t ProcessClientId() {
+    static const uint64_t id = static_cast<uint64_t>(::getpid());
+    return id;
+  }
+
  protected:
   // Blocking propose; rethrows deterministic application errors.
   template <typename T>
   T ProposeAndGet(LogEntry entry) {
+    SetClientIds(&entry, {client_id_});
     std::any result = top_->Propose(std::move(entry)).Get();
     return std::any_cast<T>(result);
   }
@@ -64,6 +82,7 @@ class AppWrapperBase {
 
  private:
   IEngine* top_;
+  uint64_t client_id_ = ProcessClientId();
 };
 
 }  // namespace delos

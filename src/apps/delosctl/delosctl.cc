@@ -11,9 +11,12 @@
 //   delosctl [...] trace <id>                one end-to-end trace
 //   delosctl [...] latency                   per-stage latency attribution
 //   delosctl [...] slow [id]                 slow-trace exemplars (detail with id)
+//   delosctl [...] workload                  per-layer resource accounting + hot spots
+//   delosctl [...] top keys|clients          heavy-hitter tables (workload sketches)
 //
-// `--json` switches status/top/metrics/latency/slow to machine-readable
-// JSON (appends ?format=json to the admin path) for scripting and CI.
+// `--json` switches status/top/metrics/latency/slow/workload to
+// machine-readable JSON (appends ?format=json to the admin path) for
+// scripting and CI.
 //
 // `--demo` boots a single-server Zelos cluster in-process, drives a short
 // workload, serves it on an ephemeral loopback port, and runs the requested
@@ -45,6 +48,8 @@ void PrintUsage() {
                "commands:\n"
                "  status       per-engine health table\n"
                "  top          metric rates from the time-series ring\n"
+               "  top keys     hot keys (workload attribution heavy hitters)\n"
+               "  top clients  top clients (workload attribution heavy hitters)\n"
                "  stack        engine stack + apply cursors (JSON)\n"
                "  metrics      Prometheus exposition\n"
                "  healthz      health report (exit 1 when UNHEALTHY)\n"
@@ -52,16 +57,25 @@ void PrintUsage() {
                "  trace ID     render trace ID\n"
                "  latency      per-stage latency attribution + critical-path dominance\n"
                "  slow [ID]    slow-trace exemplar list (or one exemplar's detail)\n"
+               "  workload     per-layer resource accounting + hot-spot verdicts\n"
                "\n"
                "  --demo       run against an in-process single-server Zelos cluster\n"
-               "  --json       machine-readable output (status/top/metrics/latency/slow)\n");
+               "  --json       machine-readable output "
+               "(status/top/metrics/latency/slow/workload)\n");
 }
 
 // Maps a command (+ optional argument) to an admin-endpoint path; empty on
 // unknown command.
 std::string CommandPath(const std::string& command, const std::string& arg) {
   if (command == "status") return "/status";
-  if (command == "top") return "/top";
+  if (command == "top") {
+    if (arg.empty()) return "/top";
+    if (arg == "keys") return "/top/keys";
+    if (arg == "clients") return "/top/clients";
+    std::fprintf(stderr, "delosctl: top takes no argument, 'keys', or 'clients'\n");
+    return "";
+  }
+  if (command == "workload") return "/workload";
   if (command == "stack") return "/stack";
   if (command == "metrics") return "/metrics";
   if (command == "healthz") return "/healthz";
@@ -122,7 +136,9 @@ int RunDemo(const std::string& command, const std::string& arg, bool json) {
     BuildStack(server, config);
     auto app = std::make_unique<zelos::ZelosApplicator>();
     app->set_metrics(server.metrics());
-    server.top()->RegisterUpcall(app.get());
+    // Through the workload apply tap, so the demo's /workload, /top/keys
+    // and /top/clients surfaces have per-key attribution to show.
+    server.RegisterApplicator(app.get(), zelos::ZelosKeyExtractor::Instance());
     server.RegisterHealthTarget(app.get());
     apps[server.id()] = std::move(app);
   });

@@ -93,6 +93,31 @@ std::any QueueApplicator::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   }
 }
 
+std::string QueueKeyExtractor::KeyOf(std::string_view payload) const {
+  if (payload.empty()) {
+    return "";
+  }
+  try {
+    Deserializer de(payload);
+    switch (de.ReadVarint()) {
+      case QueueClient::kCreateQueue:
+      case QueueClient::kDropQueue:
+      case QueueClient::kPush:
+      case QueueClient::kPop:
+        return "queue/" + de.ReadString();
+      default:
+        return "";
+    }
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+const QueueKeyExtractor* QueueKeyExtractor::Instance() {
+  static const QueueKeyExtractor extractor;
+  return &extractor;
+}
+
 void QueueClient::CreateQueue(const std::string& queue) {
   OpWriter op(kCreateQueue);
   op.args().WriteString(queue);

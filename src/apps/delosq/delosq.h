@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/apps/app_base.h"
+#include "src/common/workload.h"
 #include "src/core/engine.h"
 
 namespace delos::delosq {
@@ -32,6 +33,14 @@ class QueueApplicator : public IApplicator {
 
   static std::string MetaKey(const std::string& queue);
   static std::string ElementKey(const std::string& queue, uint64_t seq);
+};
+
+// Workload-attribution hook: every op maps to "queue/<name>" (the queue is
+// the first field of all four ops). Malformed payloads yield "".
+class QueueKeyExtractor : public IKeyExtractor {
+ public:
+  std::string KeyOf(std::string_view payload) const override;
+  static const QueueKeyExtractor* Instance();
 };
 
 class QueueClient : public AppWrapperBase {

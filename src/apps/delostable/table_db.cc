@@ -339,6 +339,42 @@ std::any TableApplicator::ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos po
   }
 }
 
+std::string TableKeyExtractor::KeyOf(std::string_view payload) const {
+  if (payload.empty()) {
+    return "";
+  }
+  try {
+    Deserializer de(payload);
+    switch (de.ReadVarint()) {
+      case TableClient::kCreateTable:
+        return "table/" + TableSchema::Read(de).name;
+      case TableClient::kDropTable:
+      case TableClient::kInsert:
+      case TableClient::kUpsert:
+      case TableClient::kUpdate:
+      case TableClient::kDelete:
+      case TableClient::kConditionalUpdate:
+        return "table/" + de.ReadString();
+      case TableClient::kWriteBatch: {
+        if (de.ReadVarint() == 0) {
+          return "";
+        }
+        de.ReadVarint();  // first op's kind
+        return "table/" + de.ReadString();
+      }
+      default:
+        return "";
+    }
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+const TableKeyExtractor* TableKeyExtractor::Instance() {
+  static const TableKeyExtractor extractor;
+  return &extractor;
+}
+
 // --- Wrapper ---
 
 void TableClient::CreateTable(const TableSchema& schema) {

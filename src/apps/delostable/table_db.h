@@ -19,6 +19,7 @@
 
 #include "src/apps/app_base.h"
 #include "src/apps/delostable/value.h"
+#include "src/common/workload.h"
 #include "src/core/engine.h"
 #include "src/core/health.h"
 
@@ -111,6 +112,15 @@ class TableApplicator : public IApplicator, public IHealthCheckable {
 
   // Consecutive deterministic apply failures (reset on success).
   std::atomic<uint64_t> failure_streak_{0};
+};
+
+// Workload-attribution hook: maps each op payload to "table/<name>" (batches
+// attribute to their first op's table), so /top/keys names hot tables. A
+// pure function of the bytes; malformed payloads yield "".
+class TableKeyExtractor : public IKeyExtractor {
+ public:
+  std::string KeyOf(std::string_view payload) const override;
+  static const TableKeyExtractor* Instance();
 };
 
 // --- Wrapper ---

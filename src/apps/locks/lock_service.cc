@@ -125,6 +125,29 @@ void LockApplicator::RemoveGrantCallback(uint64_t id) {
   callbacks_.erase(id);
 }
 
+std::string LockKeyExtractor::KeyOf(std::string_view payload) const {
+  if (payload.empty()) {
+    return "";
+  }
+  try {
+    Deserializer de(payload);
+    switch (de.ReadVarint()) {
+      case LockClient::kAcquire:
+      case LockClient::kRelease:
+        return "lock/" + de.ReadString();
+      default:
+        return "";
+    }
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+const LockKeyExtractor* LockKeyExtractor::Instance() {
+  static const LockKeyExtractor extractor;
+  return &extractor;
+}
+
 LockClient::LockClient(IEngine* top, LockApplicator* applicator)
     : AppWrapperBase(top), applicator_(applicator) {
   grant_callback_id_ =

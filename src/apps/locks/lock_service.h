@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/apps/app_base.h"
+#include "src/common/workload.h"
 #include "src/core/engine.h"
 
 namespace delos::locks {
@@ -62,6 +63,14 @@ class LockApplicator : public IApplicator {
   std::mutex callbacks_mu_;
   std::map<uint64_t, GrantCallback> callbacks_;
   uint64_t next_callback_id_ = 1;
+};
+
+// Workload-attribution hook: both ops map to "lock/<name>" (the lock is the
+// first field). Malformed payloads yield "".
+class LockKeyExtractor : public IKeyExtractor {
+ public:
+  std::string KeyOf(std::string_view payload) const override;
+  static const LockKeyExtractor* Instance();
 };
 
 class LockClient : public AppWrapperBase {

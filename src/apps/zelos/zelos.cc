@@ -472,6 +472,60 @@ void ZelosApplicator::AddChildWatch(const std::string& path, WatchCallback callb
   child_watches_[path].push_back(std::move(callback));
 }
 
+namespace {
+
+// Single-allocation "<prefix><rest>" — the extractor runs once per applied
+// record, so it avoids the temporary ReadString copy.
+std::string PrefixedKey(std::string_view prefix, std::string_view rest) {
+  std::string out;
+  out.reserve(prefix.size() + rest.size());
+  out.append(prefix);
+  out.append(rest);
+  return out;
+}
+
+}  // namespace
+
+std::string ZelosKeyExtractor::KeyOf(std::string_view payload) const {
+  if (payload.empty()) {
+    return "";
+  }
+  try {
+    Deserializer de(payload);
+    switch (de.ReadVarint()) {
+      case ZelosClient::kCreateSession:
+        return "zelos/session";
+      case ZelosClient::kCloseSession:
+      case ZelosClient::kExpireSession:
+      case ZelosClient::kHeartbeat:
+        return "zelos/session/" + std::to_string(de.ReadVarint());
+      case ZelosClient::kCreate:
+        de.ReadVarint();  // session
+        return PrefixedKey("zelos", de.ReadStringView());
+      case ZelosClient::kDelete:
+      case ZelosClient::kSetData:
+        return PrefixedKey("zelos", de.ReadStringView());
+      case ZelosClient::kMulti: {
+        if (de.ReadVarint() == 0) {
+          return "zelos/multi";
+        }
+        de.ReadVarint();  // first op's kind
+        de.ReadVarint();  // first op's session
+        return PrefixedKey("zelos", de.ReadStringView());
+      }
+      default:
+        return "";
+    }
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+const ZelosKeyExtractor* ZelosKeyExtractor::Instance() {
+  static const ZelosKeyExtractor extractor;
+  return &extractor;
+}
+
 // --- client ---
 
 SessionId ZelosClient::CreateSession(int64_t timeout_micros) {

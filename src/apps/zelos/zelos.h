@@ -24,6 +24,7 @@
 
 #include "src/apps/app_base.h"
 #include "src/common/metrics.h"
+#include "src/common/workload.h"
 #include "src/core/engine.h"
 #include "src/core/health.h"
 
@@ -223,6 +224,15 @@ class ZelosClient : public AppWrapperBase {
 
  private:
   ZelosApplicator* applicator_;
+};
+
+// Workload-attribution hook: data ops map to "zelos<path>" (paths begin with
+// '/'), session-lifecycle ops to "zelos/session[/<id>]", multis to their
+// first constituent's path. Malformed payloads yield "".
+class ZelosKeyExtractor : public IKeyExtractor {
+ public:
+  std::string KeyOf(std::string_view payload) const override;
+  static const ZelosKeyExtractor* Instance();
 };
 
 // Path helpers shared by applicator, client, and tests.

@@ -143,6 +143,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "net";
     case FlightEventKind::kHealth:
       return "health";
+    case FlightEventKind::kWorkload:
+      return "workload";
   }
   return "unknown";
 }

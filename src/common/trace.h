@@ -132,6 +132,7 @@ enum class FlightEventKind : uint8_t {
   kTrim = 9,        // log trimmed (a = new trim prefix)
   kNet = 10,        // network-level event (drop, partition)
   kHealth = 11,     // watchdog health transition (a = new state, b = value)
+  kWorkload = 12,   // hot key/client crossed the share threshold (a = ops, b = share %)
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -141,7 +141,9 @@ class ApplyProfiler {
 }  // namespace delos
 
 #include "src/common/trace.h"
+#include "src/common/workload.h"
 #include "src/core/engine.h"
+#include "src/core/entry.h"
 
 namespace delos {
 
@@ -194,6 +196,40 @@ class TracedApplicator : public IApplicator {
   IApplicator* inner_;
   Tracer* tracer_;
   std::string server_id_;
+};
+
+// Wraps an application applicator so every applied app entry is charged to
+// the workload attribution plane. Sitting at the top of the stack means
+// batch sub-entries arrive here individually (BatchingEngine decodes them
+// before calling upstream), so per-key and per-client attribution is exact
+// and — because apply is log-driven — identical on every replica. The key
+// extractor is app-provided (semantic keys: table/pk, zk path, queue name);
+// a null extractor attributes bytes and clients but no keys.
+class WorkloadTapApplicator : public IApplicator {
+ public:
+  WorkloadTapApplicator(IApplicator* inner, WorkloadAttributor* attributor,
+                        const IKeyExtractor* extractor)
+      : inner_(inner), attributor_(attributor), extractor_(extractor) {}
+
+  std::any Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) override {
+    // BeginApply keeps the op/byte totals exact for every record; only the
+    // sampled subset pays for key extraction, client-id parsing, and the
+    // sketch updates (with the compensating weight).
+    if (attributor_ != nullptr && attributor_->BeginApply(entry.payload.size())) {
+      uint64_t ids[16];
+      const size_t n = ClientIdsInto(entry, ids, 16);
+      attributor_->ChargeApplySampled(
+          extractor_ != nullptr ? extractor_->KeyOf(entry.payload) : "",
+          std::span<const uint64_t>(ids, n), entry.payload.size());
+    }
+    return inner_->Apply(txn, entry, pos);
+  }
+  void PostApply(const LogEntry& entry, LogPos pos) override { inner_->PostApply(entry, pos); }
+
+ private:
+  IApplicator* inner_;
+  WorkloadAttributor* attributor_;
+  const IKeyExtractor* extractor_;
 };
 
 }  // namespace delos

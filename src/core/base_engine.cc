@@ -5,6 +5,7 @@
 #include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/common/serde.h"
+#include "src/common/workload.h"
 
 namespace delos {
 
@@ -170,6 +171,11 @@ Future<std::any> BaseEngine::Propose(LogEntry entry) {
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   entry.SetHeader(kBaseHeaderName, EngineHeader{kMsgTypeApp, EncodeBaseHeader(instance_id_, seq)});
   std::string bytes = entry.Serialize();
+  if (options_.workload != nullptr) {
+    // Propose-path tap for the bottom layer: the bytes actually appended to
+    // the shared log, charged to the proposing clients.
+    options_.workload->ChargePropose("base.append", ClientIdsOf(entry), bytes.size());
+  }
 
   Future<std::any> future;
   {
@@ -821,6 +827,19 @@ HealthReport BaseEngine::HealthCheck() const {
     if (read_stalled >= options_.health_stall_degraded_micros) {
       attribution =
           " (read path stalled " + std::to_string(read_stalled) + "us waiting for log records)";
+    }
+    // Workload attribution: when one key (or client) dominates the applied
+    // traffic, name it in the stall reason — "the apply loop is behind" is
+    // far more actionable as "... and 61% of ops hit one key".
+    if (options_.workload != nullptr) {
+      if (auto hot = options_.workload->HottestKey(); hot.has_value()) {
+        attribution += "; hot key: " + hot->name + " (" +
+                       std::to_string(static_cast<int64_t>(hot->share_pct)) + "% of applied ops)";
+      }
+      if (auto hot = options_.workload->HottestClient(); hot.has_value()) {
+        attribution += "; hot client: " + hot->name + " (" +
+                       std::to_string(static_cast<int64_t>(hot->share_pct)) + "% of applied ops)";
+      }
     }
     if (stalled >= options_.health_stall_unhealthy_micros) {
       report.state = HealthState::kUnhealthy;

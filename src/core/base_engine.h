@@ -47,6 +47,8 @@
 
 namespace delos {
 
+class WorkloadAttributor;
+
 struct BaseEngineOptions {
   std::string server_id = "server0";
   int64_t flush_interval_micros = 50'000;
@@ -104,6 +106,21 @@ struct BaseEngineOptions {
   // Explicit bucket bounds for the attributor's histograms (empty = the
   // default log-bucketed layout).
   std::vector<int64_t> latency_stage_bucket_bounds;
+  // Workload attribution plane (src/common/workload.h). The flag is
+  // consumed by ClusterServer: when true the server builds a per-server
+  // WorkloadAttributor, wires it into every engine's propose path and the
+  // app applicator's apply path, and serves /workload + /top/keys +
+  // /top/clients. The pointer is the direct tap BaseEngine charges (set by
+  // ClusterServer; tests may inject their own).
+  bool workload_attribution = true;
+  WorkloadAttributor* workload = nullptr;
+  // Attributor knobs forwarded by ClusterServer: the hash-family seed (the
+  // simulator pins it so sketches replay byte-identically), the hard
+  // per-server sketch byte budget, and the hot-spot share threshold.
+  uint64_t workload_hash_seed = 0x5eed0fde;
+  size_t workload_sketch_byte_budget = 512 * 1024;
+  double workload_hot_share_threshold_pct = 25.0;
+  uint64_t workload_hot_min_ops = 64;
   // Optional (but in practice always-on: ClusterServer defaults it to the
   // server's own ring) flight recorder for appends, batch commits, flushes,
   // trims, and crashes.

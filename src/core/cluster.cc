@@ -1,6 +1,7 @@
 #include "src/core/cluster.h"
 
 #include "src/common/logging.h"
+#include "src/core/apply_profiler.h"
 #include "src/sharedlog/inmemory_log.h"
 
 namespace delos {
@@ -25,6 +26,23 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
   tracer_ = base_options.tracer;
   if (base_options.clock == nullptr) {
     base_options.clock = RealClock::Instance();
+  }
+  clock_ = base_options.clock;
+  // Workload attribution plane: one attributor per server (sketch state is
+  // replica-local; the apply tap makes it replica-consistent). Built before
+  // the BaseEngine so the same pointer taps the append path; an attributor
+  // injected through the base options wins (benches share one instance).
+  if (base_options.workload_attribution && base_options.workload == nullptr) {
+    WorkloadAttributor::Options workload_options;
+    workload_options.metrics = &metrics_;
+    workload_options.server = id_;
+    workload_options.recorder = recorder_;
+    workload_options.hash_seed = base_options.workload_hash_seed;
+    workload_options.sketch_byte_budget = base_options.workload_sketch_byte_budget;
+    workload_options.hot_share_threshold_pct = base_options.workload_hot_share_threshold_pct;
+    workload_options.hot_min_ops = base_options.workload_hot_min_ops;
+    workload_ = std::make_unique<WorkloadAttributor>(std::move(workload_options));
+    base_options.workload = workload_.get();
   }
   // Tail-latency attribution plane: one attributor per server, subscribed
   // to the cluster-wide Tracer and filtering on this server's span label.
@@ -80,6 +98,16 @@ ClusterServer::~ClusterServer() {
   while (!middle_.empty()) {
     middle_.pop_back();
   }
+}
+
+void ClusterServer::RegisterApplicator(IApplicator* app, const IKeyExtractor* extractor) {
+  if (workload_ == nullptr) {
+    top_->RegisterUpcall(app);
+    return;
+  }
+  workload_taps_.push_back(
+      std::make_unique<WorkloadTapApplicator>(app, workload_.get(), extractor));
+  top_->RegisterUpcall(workload_taps_.back().get());
 }
 
 StackableEngine* ClusterServer::FindEngine(const std::string& name) {

@@ -44,6 +44,9 @@ class ClusterServer {
     // Every engine of this server shares its flight recorder and the
     // cluster's tracer; injected here so stack builders need no plumbing.
     raw->ConfigureObservability(tracer_, recorder_, id_);
+    // And the workload attribution plane, so every layer's propose hand-off
+    // is charged per client (null when attribution is disabled).
+    raw->ConfigureWorkload(workload_.get());
     // And every engine is a watchdog target: its HealthCheck verdict shows
     // up in /healthz and the health.state gauges without registration code
     // in the stack builder.
@@ -79,6 +82,17 @@ class ClusterServer {
   // The tail-latency attribution plane (nullptr when tracing is off or
   // latency_attribution was disabled in the base options).
   LatencyAttributor* latency() { return latency_.get(); }
+  // The workload attribution plane (nullptr when workload_attribution was
+  // disabled in the base options).
+  WorkloadAttributor* workload() { return workload_.get(); }
+
+  // Attaches the application's applicator to the top of the stack, wrapped
+  // in the workload apply tap when attribution is on. The extractor (owned
+  // by the caller, typically the applicator itself) pulls the semantic key
+  // out of each op payload; null attributes ops/bytes/clients but no keys.
+  // Prefer this over top()->RegisterUpcall(app) — the raw form still works
+  // but bypasses per-key attribution.
+  void RegisterApplicator(IApplicator* app, const IKeyExtractor* extractor = nullptr);
 
   // Health plane. The watchdog holds every engine of this server (base
   // included) plus any applicator registered via RegisterHealthTarget; it is
@@ -87,8 +101,14 @@ class ClusterServer {
   Watchdog* watchdog() { return watchdog_.get(); }
   TimeSeriesStore* series() { return &series_; }
   // One watchdog pass: fresh per-component reports (and one closed
-  // time-series window).
-  std::vector<HealthReport> CollectHealth() { return watchdog_->Evaluate(); }
+  // time-series window — including the workload plane's accounting window,
+  // so distinct-key/client gauges land in the same snapshot).
+  std::vector<HealthReport> CollectHealth() {
+    if (workload_ != nullptr) {
+      workload_->CloseWindow(clock_->NowMicros());
+    }
+    return watchdog_->Evaluate();
+  }
   // Applications sit above the stack and are not StackableEngines; stack
   // builders register their applicators here to include them in /healthz.
   void RegisterHealthTarget(IHealthCheckable* target) { watchdog_->AddTarget(target); }
@@ -120,7 +140,12 @@ class ClusterServer {
   FlightRecorder own_recorder_;
   FlightRecorder* recorder_ = nullptr;  // = own_recorder_ unless injected
   Tracer* tracer_ = nullptr;
+  Clock* clock_ = nullptr;
   std::unique_ptr<LatencyAttributor> latency_;
+  std::unique_ptr<WorkloadAttributor> workload_;
+  // Apply-tap decorators built by RegisterApplicator (one per registered
+  // app); they must outlive the engines whose upcalls point at them.
+  std::vector<std::unique_ptr<IApplicator>> workload_taps_;
   uint64_t tracer_observer_id_ = 0;  // 0 = not registered
   TimeSeriesStore series_;
   std::unique_ptr<Watchdog> watchdog_;

@@ -142,4 +142,50 @@ void SetTraceIds(LogEntry* entry, const std::vector<uint64_t>& ids) {
   entry->SetHeader(kTraceHeaderName, EngineHeader{kMsgTypeApp, ser.Release()});
 }
 
+std::vector<uint64_t> ClientIdsOf(const LogEntry& entry) {
+  auto header = entry.GetHeaderView(kClientHeaderName);
+  if (!header.has_value()) {
+    return {};
+  }
+  return DecodeTraceIds(header->blob);
+}
+
+std::vector<uint64_t> ClientIdsOf(const LogEntryView& view) {
+  auto header = view.GetHeader(kClientHeaderName);
+  if (!header.has_value()) {
+    return {};
+  }
+  return DecodeTraceIds(header->blob);
+}
+
+size_t ClientIdsInto(const LogEntry& entry, uint64_t* out, size_t max) {
+  auto header = entry.GetHeaderView(kClientHeaderName);
+  if (!header.has_value()) {
+    return 0;
+  }
+  try {
+    Deserializer de(header->blob);
+    const uint64_t count = de.ReadVarint();
+    size_t written = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t id = de.ReadVarint();
+      if (written < max) {
+        out[written++] = id;
+      }
+    }
+    return written;
+  } catch (const std::exception&) {
+    return 0;  // malformed blob: unattributed, never a failed apply
+  }
+}
+
+void SetClientIds(LogEntry* entry, const std::vector<uint64_t>& ids) {
+  Serializer ser;
+  ser.WriteVarint(ids.size());
+  for (const uint64_t id : ids) {
+    ser.WriteVarint(id);
+  }
+  entry->SetHeader(kClientHeaderName, EngineHeader{kMsgTypeApp, ser.Release()});
+}
+
 }  // namespace delos

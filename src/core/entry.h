@@ -100,4 +100,27 @@ std::vector<uint64_t> TraceIdsOf(const LogEntryView& view);
 
 void SetTraceIds(LogEntry* entry, const std::vector<uint64_t>& ids);
 
+// Client-id piggybacking (the workload attribution plane in
+// src/common/workload.h).
+//
+// The proposing client's compact id travels exactly like trace ids: one
+// more reserved header every layer passes through untouched. It is a list
+// for the same reason — the BatchingEngine folds many proposals into one
+// control entry and stamps the union, so the shared append (and each
+// sub-entry's apply) attributes to every constituent client. Attribution is
+// diagnostic: a malformed blob yields "unattributed", never a failed apply.
+inline constexpr char kClientHeaderName[] = "client";
+
+std::vector<uint64_t> ClientIdsOf(const LogEntry& entry);
+std::vector<uint64_t> ClientIdsOf(const LogEntryView& view);
+
+// Allocation-free variant for the apply tap (called once per applied
+// record): fills up to `max` ids into `out` and returns how many were
+// written. Ids past `max` are dropped — attribution is diagnostic, and a
+// batch entry carrying more constituents than the tap's buffer loses the
+// tail rather than costing the apply loop a heap allocation.
+size_t ClientIdsInto(const LogEntry& entry, uint64_t* out, size_t max);
+
+void SetClientIds(LogEntry* entry, const std::vector<uint64_t>& ids);
+
 }  // namespace delos

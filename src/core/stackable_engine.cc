@@ -71,6 +71,11 @@ Future<std::any> StackableEngine::Propose(LogEntry entry) {
   // Even a not-yet-enabled engine may piggyback its header (phase one of the
   // two-phase insertion protocol); it just must not act on it in apply.
   OnPropose(&entry);
+  if (options_.workload != nullptr) {
+    // Propose-path tap: charge this layer's hand-off with the proposing
+    // clients' serialized bytes (the entry as it descends, headers included).
+    options_.workload->ChargePropose(down_label_, ClientIdsOf(entry), entry.SerializedSize());
+  }
   Tracer* tracer = options_.tracer;
   if (tracer == nullptr) {
     return downstream_->Propose(std::move(entry));

@@ -25,6 +25,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/common/workload.h"
 #include "src/core/apply_profiler.h"
 #include "src/core/engine.h"
 #include "src/core/health.h"
@@ -79,6 +80,9 @@ struct StackableEngineOptions {
   // recorder and the cluster's tracer without per-engine plumbing).
   Tracer* tracer = nullptr;
   FlightRecorder* recorder = nullptr;
+  // Workload attribution sink (per-layer propose accounting); injected by
+  // ClusterServer::AddEngine via ConfigureWorkload.
+  WorkloadAttributor* workload = nullptr;
   // Initial enabled state when the LocalStore has no recorded flag (i.e. the
   // engine has always been part of this deployment's stack). Two-phase
   // insertion deploys with false and enables via the log.
@@ -122,6 +126,10 @@ class StackableEngine : public IEngine, public IApplicator, public IHealthChecka
   // this engine's spans. Called by ClusterServer::AddEngine right after
   // construction (before any traffic); tests may call it directly.
   void ConfigureObservability(Tracer* tracer, FlightRecorder* recorder, std::string server_id);
+
+  // Wires the workload attribution sink (may stay null: attribution off).
+  // Called by ClusterServer::AddEngine alongside ConfigureObservability.
+  void ConfigureWorkload(WorkloadAttributor* workload) { options_.workload = workload; }
 
  protected:
   // Piggybacks this engine's header on an outgoing application proposal.
@@ -182,6 +190,7 @@ class StackableEngine : public IEngine, public IApplicator, public IHealthChecka
   MetricsRegistry* metrics() { return options_.metrics; }
   Tracer* tracer() { return options_.tracer; }
   FlightRecorder* recorder() { return options_.recorder; }
+  WorkloadAttributor* workload() { return options_.workload; }
   const std::string& server_label() const { return server_label_; }
 
  private:

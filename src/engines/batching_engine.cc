@@ -1,5 +1,7 @@
 #include "src/engines/batching_engine.h"
 
+#include <algorithm>
+
 #include "src/common/serde.h"
 
 namespace delos {
@@ -61,6 +63,12 @@ Future<std::any> BatchingEngine::Propose(LogEntry entry) {
   if (!enabled()) {
     return downstream()->Propose(std::move(entry));
   }
+  if (workload() != nullptr) {
+    // Propose-path tap for the queue hand-off (this engine bypasses the
+    // generic StackableEngine::Propose). The layers below charge the merged
+    // batch entry once, carrying the union of client ids.
+    workload()->ChargePropose("batching.queue", ClientIdsOf(entry), entry.SerializedSize());
+  }
   Waiter waiter;
   waiter.promise = std::make_shared<Promise<std::any>>();
   Future<std::any> future = waiter.promise->GetFuture();
@@ -113,6 +121,21 @@ void BatchingEngine::FlushLocked(std::unique_lock<std::mutex>& lock) {
   entries_batched_.fetch_add(entries.size(), std::memory_order_relaxed);
 
   LogEntry batch = MakeControlEntry(name(), kMsgTypeBatch, EncodeBatch(entries));
+  // Stamp the batch with the union of the constituents' client ids (exactly
+  // like trace ids below): the shared append downstream attributes to every
+  // proposing client.
+  std::vector<uint64_t> merged_clients;
+  for (const LogEntry& sub : entries) {
+    for (const uint64_t id : ClientIdsOf(sub)) {
+      merged_clients.push_back(id);
+    }
+  }
+  std::sort(merged_clients.begin(), merged_clients.end());
+  merged_clients.erase(std::unique(merged_clients.begin(), merged_clients.end()),
+                       merged_clients.end());
+  if (!merged_clients.empty()) {
+    SetClientIds(&batch, merged_clients);
+  }
   Tracer* tracer = this->tracer();
   if (tracer != nullptr) {
     // Close every sub-entry's queue-wait span and stamp the batch control

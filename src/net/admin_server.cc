@@ -117,6 +117,15 @@ AdminResponse AdminEndpoint::Handle(const std::string& raw_path) const {
   if (path == "/slow") {
     return Slow(json);
   }
+  if (path == "/workload") {
+    return Workload(json);
+  }
+  if (path == "/top/keys") {
+    return TopKeys(json);
+  }
+  if (path == "/top/clients") {
+    return TopClients(json);
+  }
   constexpr char kSlowPrefix[] = "/slow/";
   if (path.rfind(kSlowPrefix, 0) == 0) {
     uint64_t id = 0;
@@ -278,6 +287,42 @@ AdminResponse AdminEndpoint::SlowDetail(uint64_t trace_id, bool json) const {
     return AdminResponse{200, "application/json", *body + "\n"};
   }
   return AdminResponse{200, "text/plain; charset=utf-8", *body};
+}
+
+AdminResponse AdminEndpoint::Workload(bool json) const {
+  WorkloadAttributor* workload = server_->workload();
+  if (workload == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "workload attribution is not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", workload->RenderWorkloadJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", workload->RenderWorkload()};
+}
+
+AdminResponse AdminEndpoint::TopKeys(bool json) const {
+  WorkloadAttributor* workload = server_->workload();
+  if (workload == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "workload attribution is not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", workload->RenderTopKeysJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", workload->RenderTopKeys()};
+}
+
+AdminResponse AdminEndpoint::TopClients(bool json) const {
+  WorkloadAttributor* workload = server_->workload();
+  if (workload == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "workload attribution is not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", workload->RenderTopClientsJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", workload->RenderTopClients()};
 }
 
 AdminServer::AdminServer(AdminEndpoint endpoint, Options options)

@@ -9,9 +9,12 @@
 //    /top (per-metric rate table from the time-series ring), /series
 //    (time-series JSON), /flight (recorder tail), /trace/<id>, /latency
 //    (per-stage latency attribution + critical-path dominance), /slow
-//    (slow-trace exemplar list; /slow/<trace-id> detail). Appending
-//    ?format=json to /metrics, /status, /top, /latency, or /slow switches
-//    the body to machine-readable JSON (the `delosctl --json` transport).
+//    (slow-trace exemplar list; /slow/<trace-id> detail), /workload
+//    (per-layer resource accounting + hot-spot verdicts), /top/keys and
+//    /top/clients (heavy-hitter tables from the workload sketches).
+//    Appending ?format=json to /metrics, /status, /top, /latency, /slow,
+//    /workload, /top/keys, or /top/clients switches the body to
+//    machine-readable JSON (the `delosctl --json` transport).
 //    Handle() is a plain function call, so unit tests and the simulator
 //    exercise every route with no sockets.
 //
@@ -63,6 +66,9 @@ class AdminEndpoint {
   AdminResponse Latency(bool json) const;
   AdminResponse Slow(bool json) const;
   AdminResponse SlowDetail(uint64_t trace_id, bool json) const;
+  AdminResponse Workload(bool json) const;
+  AdminResponse TopKeys(bool json) const;
+  AdminResponse TopClients(bool json) const;
 
   ClusterServer* server_;
 };

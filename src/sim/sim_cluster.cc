@@ -263,6 +263,18 @@ class SimCluster::Impl {
       report.slow_exemplars += "== server " + rig.id + " slow traces ==\n" +
                                rig.server->latency()->RenderSlowList();
     }
+    // Workload attribution snapshot (same per-seed determinism argument as
+    // the latency summary above): full accounting plus the heavy-hitter
+    // tables, so a report names the run's hot key and top client outright.
+    for (Rig& rig : rigs_) {
+      if (rig.server == nullptr || rig.server->workload() == nullptr) {
+        continue;
+      }
+      report.workload_summary += "== server " + rig.id + " workload ==\n" +
+                                 rig.server->workload()->RenderWorkload() +
+                                 rig.server->workload()->RenderTopKeys() +
+                                 rig.server->workload()->RenderTopClients();
+    }
     rigs_.clear();
     inner_log_.reset();
     std::filesystem::remove_all(run_dir_, ec);
@@ -345,6 +357,12 @@ class SimCluster::Impl {
     base_options.prefetch_batches = 0;
     base_options.read_cache_capacity = options_.read_cache ? 65536 : 0;
     base_options.read_cache_write_through = false;
+    // Pin the workload sketch hash family: together with the sorted renders
+    // this makes report.workload_summary a pure function of the schedule.
+    base_options.workload_hash_seed = 0x5eed0fde;
+    if (options_.flush_interval_micros > 0) {
+      base_options.flush_interval_micros = options_.flush_interval_micros;
+    }
     rig.server = std::make_unique<ClusterServer>(rig.id, rig.log, std::move(store),
                                                  std::move(base_options));
     BuildShape(*rig.server);
@@ -357,22 +375,22 @@ class SimCluster::Impl {
       auto app = std::make_unique<zelos::ZelosApplicator>();
       app->set_metrics(rig.server->metrics());
       rig.zelos_app = app.get();
-      rig.server->top()->RegisterUpcall(app.get());
+      rig.server->RegisterApplicator(app.get(), zelos::ZelosKeyExtractor::Instance());
       rig.app = std::move(app);
     } else if (options_.workload == WorkloadKind::kVerifyQueue) {
       auto app = std::make_unique<delosq::QueueApplicator>();
-      rig.server->top()->RegisterUpcall(app.get());
+      rig.server->RegisterApplicator(app.get(), delosq::QueueKeyExtractor::Instance());
       rig.app = std::move(app);
     } else if (options_.workload == WorkloadKind::kVerifyLock) {
       auto app = std::make_unique<locks::LockApplicator>();
       rig.lock_app = app.get();
-      rig.server->top()->RegisterUpcall(app.get());
+      rig.server->RegisterApplicator(app.get(), locks::LockKeyExtractor::Instance());
       rig.app = std::move(app);
       rig.lock_client =
           std::make_unique<locks::LockClient>(rig.server->top(), rig.lock_app);
     } else {
       auto app = std::make_unique<table::TableApplicator>();
-      rig.server->top()->RegisterUpcall(app.get());
+      rig.server->RegisterApplicator(app.get(), table::TableKeyExtractor::Instance());
       rig.app = std::move(app);
     }
     rig.stopped = false;
@@ -473,6 +491,9 @@ class SimCluster::Impl {
   // Mixed read/write/CAS over rows of an untracked "verify" table.
   void DoVerifyTableOp(Rig& rig, int op) {
     table::TableClient client(rig.server->top());
+    // Logical client identity, stamped on every proposal so the workload
+    // attribution plane names the same top clients on every replay.
+    client.set_client_id(ClientOf(op));
     if (op == 0) {
       table::TableSchema schema;
       schema.name = "verify";
@@ -505,6 +526,7 @@ class SimCluster::Impl {
   // returned by setdata pin the write order the checker validates.
   void DoVerifyZelosOp(Rig& rig, int op) {
     zelos::ZelosClient client(rig.server->top(), rig.zelos_app);
+    client.set_client_id(ClientOf(op));
     if (op == 0) {
       zelos_session_ = client.CreateSession(600'000'000);
       return;
@@ -529,6 +551,7 @@ class SimCluster::Impl {
   // double-applied or skipped dequeue has no sequential witness.
   void DoVerifyQueueOp(Rig& rig, int op) {
     delosq::QueueClient client(rig.server->top());
+    client.set_client_id(ClientOf(op));
     if (op == 0) {
       for (int k = 0; k < std::max(1, options_.verify_keys); ++k) {
         try {
@@ -556,6 +579,7 @@ class SimCluster::Impl {
       return;  // locks materialize on first acquire
     }
     locks::LockClient& client = *rig.lock_client;
+    client.set_client_id(ClientOf(op));
     const uint64_t r = OpRand(op);
     const std::string lock = "l" + std::to_string(KeyOf(r));
     const std::string owner = "c" + std::to_string(ClientOf(op));
@@ -605,6 +629,7 @@ class SimCluster::Impl {
   void DoLegacyOp(Rig& rig, int op) {
     if (options_.shape == StackShape::kZelos) {
       zelos::ZelosClient client(rig.server->top(), rig.zelos_app);
+      client.set_client_id(ClientOf(op));
       if (op == 0) {
         zelos_session_ = client.CreateSession(600'000'000);
         return;
@@ -624,6 +649,7 @@ class SimCluster::Impl {
       return;
     }
     table::TableClient client(rig.server->top());
+    client.set_client_id(ClientOf(op));
     if (op == 0) {
       table::TableSchema schema;
       schema.name = "sim";

@@ -87,6 +87,16 @@ struct SimOptions {
   // the sim; see BuildRig). Verdicts must be byte-identical either way —
   // the read-path conformance sweep flips this flag to prove it.
   bool read_cache = true;
+  // BaseEngine checkpoint-flush cadence override (0 = engine default). The
+  // background flush runs on wall time, so WHICH positions a crashed
+  // server's checkpoint covers — and hence how deep its recovery replay is —
+  // races the schedule. Sweeps that assert byte-identical replay artifacts
+  // (the workload-attribution suite) set this very high: no checkpoint is
+  // ever written, a crashed server cold-starts from the log (a supported
+  // recovery path), and every applied-record count becomes a pure function
+  // of the schedule. Verdict-only sweeps leave it at 0; verdicts are
+  // flush-timing independent by design.
+  int64_t flush_interval_micros = 0;
   FaultPlanOptions plan;  // used by RunSeed
 
   // Verification workload knobs (ignored for kLegacy).
@@ -130,6 +140,12 @@ struct RunReport {
   // last_trace, excluded from Summary().
   std::string latency_summary;  // per-server RenderLatency()
   std::string slow_exemplars;   // per-server RenderSlowList()
+
+  // Workload attribution (schedule-determined: the hash-family seed is
+  // pinned, sketch updates are commutative counter sums, and renders sort —
+  // two replays of one seed must produce byte-identical text, and the
+  // planted hot key / top client appear by name). Excluded from Summary().
+  std::string workload_summary;  // per-server RenderWorkload() + top tables
 
   // Linearizability audit (verify workloads only; verify_ran stays false for
   // kLegacy and the verdict renders as "n/a"). A non-linearizable history or

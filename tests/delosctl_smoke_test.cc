@@ -38,7 +38,8 @@ CommandResult RunCli(const std::string& args) {
 
 TEST(DelosctlSmoke, EverySubcommandSucceedsOverDemoCluster) {
   for (const char* command : {"status", "top", "stack", "metrics", "healthz", "flight",
-                              "trace", "latency", "slow"}) {
+                              "trace", "latency", "slow", "workload", "top keys",
+                              "top clients"}) {
     SCOPED_TRACE(command);
     // "trace" with no id resolves to the demo run's most recent trace.
     const CommandResult result = RunCli(std::string("--demo ") + command);
@@ -66,7 +67,8 @@ TEST(DelosctlSmoke, JsonFlagSwitchesOutputToMachineReadable) {
   };
   for (const Case& c : {Case{"status", "\"components\""}, Case{"top", "\"windows\""},
                         Case{"metrics", "\"histograms\""}, Case{"latency", "\"stages\""},
-                        Case{"slow", "\"traces\""}}) {
+                        Case{"slow", "\"traces\""}, Case{"workload", "\"layers\""},
+                        Case{"top keys", "\"keys\""}, Case{"top clients", "\"clients\""}}) {
     SCOPED_TRACE(c.command);
     const CommandResult result = RunCli(std::string("--demo --json ") + c.command);
     EXPECT_EQ(result.exit_code, 0) << "stdout:\n" << result.stdout_text;
@@ -92,6 +94,19 @@ TEST(DelosctlSmoke, MetricsExposeVerifiableCounters) {
   EXPECT_NE(result.stdout_text.find("# TYPE"), std::string::npos) << result.stdout_text;
   EXPECT_NE(result.stdout_text.find("base_apply_records"), std::string::npos)
       << result.stdout_text;
+}
+
+TEST(DelosctlSmoke, WorkloadSurfacesNameTheDemoKeys) {
+  // The demo workload hammers /demo0../demo15, so the heavy-hitter table
+  // must name the extractor's semantic keys and the workload page must show
+  // the per-layer propose accounting.
+  const CommandResult keys = RunCli("--demo top keys");
+  ASSERT_EQ(keys.exit_code, 0);
+  EXPECT_NE(keys.stdout_text.find("zelos/demo"), std::string::npos) << keys.stdout_text;
+  const CommandResult workload = RunCli("--demo workload");
+  ASSERT_EQ(workload.exit_code, 0);
+  EXPECT_NE(workload.stdout_text.find("per-layer propose usage"), std::string::npos)
+      << workload.stdout_text;
 }
 
 TEST(DelosctlSmoke, UsageErrorsExitTwo) {

@@ -1,0 +1,104 @@
+// The workload-attribution determinism contract: attribution is fed from the
+// apply path, apply is log-driven, and the sample decision is a pure function
+// of the apply ordinal — so two replays of one fault schedule must produce
+// byte-identical per-server workload summaries, and the tables must name the
+// planted hot key and top client even while crashes and append faults churn
+// the schedule.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/sim/sim_cluster.h"
+
+namespace delos {
+namespace {
+
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::RunReport;
+using sim::SimCluster;
+using sim::SimOptions;
+using sim::StackShape;
+
+std::string ScratchDir(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / ("delos_sim_workload_" + leaf)).string();
+}
+
+// One znode and one logical client concentrate the whole verify workload, so
+// the planted offenders are unambiguous: every sampled record lands on
+// "zelos/v0" and client "0" owns 100% of the client table.
+SimOptions SingleOffenderOptions(const std::string& leaf) {
+  SimOptions options;
+  options.shape = StackShape::kZelos;
+  options.workload = sim::WorkloadKind::kVerifyZelos;
+  options.verify_keys = 1;
+  options.verify_clients = 1;
+  options.num_ops = 48;
+  options.scratch_dir = ScratchDir(leaf);
+  // Freeze background checkpoint flushes: their wall-clock cadence decides
+  // how deep a crashed server's recovery replay is, which would make the
+  // crashed server's applied-record counts race the schedule. With no
+  // checkpoint ever written, a crashed server cold-starts from the log and
+  // re-applies everything — so its tables must come out identical to the
+  // servers that never crashed, and the whole summary is replay-stable.
+  options.flush_interval_micros = 3'600'000'000;
+  return options;
+}
+
+TEST(SimWorkloadTest, SummaryIsByteIdenticalAcrossReplaysUnderFaults) {
+  SimOptions options = SingleOffenderOptions("byte_identity");
+
+  FaultPlan plan;
+  plan.seed = 2026;
+  plan.events = {
+      {FaultKind::kAppendTimeout, 0, 2, 0},
+      {FaultKind::kCrash, 1, 9, 0},
+      {FaultKind::kAppendTimeout, 2, 5, 0},
+      {FaultKind::kCrash, 2, 21, 1 + 6},
+  };
+
+  SimCluster cluster_a(options);
+  const RunReport first = cluster_a.Run(plan);
+  SimCluster cluster_b(options);
+  const RunReport second = cluster_b.Run(plan);
+
+  ASSERT_TRUE(first.ok()) << first.Summary();
+  ASSERT_TRUE(second.ok()) << second.Summary();
+  ASSERT_FALSE(first.workload_summary.empty());
+  EXPECT_EQ(first.workload_summary, second.workload_summary);
+
+  // The planted hot key appears by name in the top-keys table...
+  EXPECT_NE(first.workload_summary.find("zelos/v0"), std::string::npos)
+      << first.workload_summary;
+  // ...and the planted client owns the whole client table on every server
+  // (the row renders as "... 100.0%  0").
+  EXPECT_NE(first.workload_summary.find("100.0%  0"), std::string::npos)
+      << first.workload_summary;
+  // All three servers reported (the summary concatenates per-server blocks).
+  for (const char* header : {"== server s0 workload ==", "== server s1 workload ==",
+                             "== server s2 workload =="}) {
+    EXPECT_NE(first.workload_summary.find(header), std::string::npos) << header;
+  }
+}
+
+// Seeded sweep: randomized crash + append-fault schedules, each replayed
+// twice. The attribution plane must never perturb the verdict, and the
+// summary must stay byte-identical per seed.
+TEST(SimWorkloadTest, SeededFaultSweepKeepsSummariesReplayIdentical) {
+  for (uint64_t seed : {3u, 404u, 9177u}) {
+    SimOptions options = SingleOffenderOptions("sweep");
+    options.num_ops = 32;
+    const RunReport first = SimCluster::RunSeed(seed, options);
+    const RunReport second = SimCluster::RunSeed(seed, options);
+    ASSERT_TRUE(first.ok()) << "seed " << seed << "\n" << first.Summary();
+    EXPECT_EQ(first.plan_bytes, second.plan_bytes) << "seed " << seed;
+    ASSERT_FALSE(first.workload_summary.empty()) << "seed " << seed;
+    EXPECT_EQ(first.workload_summary, second.workload_summary) << "seed " << seed;
+    EXPECT_NE(first.workload_summary.find("zelos/v0"), std::string::npos)
+        << "seed " << seed << "\n" << first.workload_summary;
+  }
+}
+
+}  // namespace
+}  // namespace delos
