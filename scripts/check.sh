@@ -22,6 +22,10 @@
 #   scripts/check.sh --workload     # workload-attribution suite only (label
 #                                   # `workload`): sketch units, attributor
 #                                   # taps, replay byte-identity sim sweep
+#   scripts/check.sh --digest       # divergence-detection suite only (label
+#                                   # `digest`): digest/divergence units plus
+#                                   # the sabotage-conviction + fault-free
+#                                   # false-positive sim sweeps
 #
 # The simulation tests read DELOS_SIM_SCHEDULES for their randomized schedule
 # count (default 200). Sanitizer suites run with a reduced count — each
@@ -107,9 +111,18 @@ if [[ "${1:-}" == "--workload" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--digest" ]]; then
+  echo "== divergence-detection suite (digest beacons + sabotage conviction sweep) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build -L digest --output-on-failure -j "$JOBS"
+  echo "check.sh: divergence-detection suite passed"
+  exit 0
+fi
+
 SAN="${1:-}"
 if [[ -n "$SAN" && "$SAN" != "thread" && "$SAN" != "address" ]]; then
-  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', '--readpath', '--verify N', or '--workload')" >&2
+  echo "check.sh: unknown sanitizer '$SAN' (expected 'thread', 'address', '--sim N', '--obs', '--health', '--readpath', '--verify N', '--workload', or '--digest')" >&2
   exit 2
 fi
 

@@ -13,6 +13,8 @@
 //   delosctl [...] slow [id]                 slow-trace exemplars (detail with id)
 //   delosctl [...] workload                  per-layer resource accounting + hot spots
 //   delosctl [...] top keys|clients          heavy-hitter tables (workload sketches)
+//   delosctl [...] digest                    digest-beacon counters + sample table
+//   delosctl [...] divergence                earliest-divergence conviction report
 //
 // `--json` switches status/top/metrics/latency/slow/workload to
 // machine-readable JSON (appends ?format=json to the admin path) for
@@ -58,6 +60,8 @@ void PrintUsage() {
                "  latency      per-stage latency attribution + critical-path dominance\n"
                "  slow [ID]    slow-trace exemplar list (or one exemplar's detail)\n"
                "  workload     per-layer resource accounting + hot-spot verdicts\n"
+               "  digest       digest-beacon counters + per-position sample table\n"
+               "  divergence   earliest-divergence conviction report\n"
                "\n"
                "  --demo       run against an in-process single-server Zelos cluster\n"
                "  --json       machine-readable output "
@@ -76,6 +80,8 @@ std::string CommandPath(const std::string& command, const std::string& arg) {
     return "";
   }
   if (command == "workload") return "/workload";
+  if (command == "digest") return "/digest";
+  if (command == "divergence") return "/divergence";
   if (command == "stack") return "/stack";
   if (command == "metrics") return "/metrics";
   if (command == "healthz") return "/healthz";
@@ -133,6 +139,9 @@ int RunDemo(const std::string& command, const std::string& arg, bool json) {
     StackConfig config = ZelosStackConfig(nullptr);
     config.batch_max_entries = 8;
     config.batch_max_delay_micros = 500;
+    // A tight beacon cadence so the demo's short burst crosses it several
+    // times and `delosctl digest` has checked beacons to show.
+    config.digest_beacon_every = 8;
     BuildStack(server, config);
     auto app = std::make_unique<zelos::ZelosApplicator>();
     app->set_metrics(server.metrics());

@@ -11,12 +11,48 @@ uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
   return hash;
 }
 
+namespace {
+
+// Little-endian assembly of the next n (1..8) bytes, written out explicitly
+// so the digest is identical on any platform; compilers fold the chain into
+// a single load on little-endian targets.
+inline uint64_t LoadLE(const char* data, size_t n) {
+  uint64_t word = 0;
+  for (size_t i = 0; i < n; ++i) {
+    word |= static_cast<uint64_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  return word;
+}
+
+// FNV-style mixing over 8-byte words instead of bytes: one multiply per word
+// is ~8x the throughput of the classic byte loop. The input length is folded
+// in at the end so a short chunk and the same chunk zero-padded cannot
+// collide (the word loop cannot tell "a" from "a\0" by itself). Only
+// PairHash uses this — it sits on the store-checksum hot path (every commit,
+// every digest-beacon fold); Fnv1a64 stays byte-wise for callers that want
+// the classic digest.
+inline uint64_t FnvWords(std::string_view data, uint64_t hash) {
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    hash = (hash ^ LoadLE(p, 8)) * 1099511628211ULL;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    hash = (hash ^ LoadLE(p, n)) * 1099511628211ULL;
+  }
+  return (hash ^ data.size()) * 1099511628211ULL;
+}
+
+}  // namespace
+
 uint64_t IncrementalChecksum::PairHash(std::string_view key, std::string_view value) {
-  // Domain-separate key and value (a length prefix baked into the seed chain)
-  // so that ("ab","c") and ("a","bc") hash differently.
-  uint64_t h = Fnv1a64(key);
-  h = Fnv1a64("\x1f", h);  // separator
-  h = Fnv1a64(value, h);
+  // Domain-separate key and value (each chunk folds its own length into the
+  // chain) so that ("ab","c") and ("a","bc") hash differently.
+  uint64_t h = FnvWords(key, 14695981039346656037ULL);
+  h = (h ^ 0x1f) * 1099511628211ULL;  // separator
+  h = FnvWords(value, h);
   // Avalanche (splitmix64 finalizer) so XOR-combining pair hashes does not
   // cancel structure shared between related pairs.
   h ^= h >> 30;

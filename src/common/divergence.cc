@@ -1,0 +1,241 @@
+#include "src/common/divergence.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
+namespace delos {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DivergenceTracker::DivergenceTracker(DivergenceOptions options) : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    appended_counter_ = options_.metrics->GetCounter("digest.beacons_appended");
+    checked_counter_ = options_.metrics->GetCounter("digest.beacons_checked");
+    mismatch_counter_ = options_.metrics->GetCounter("digest.mismatches");
+    verified_gauge_ = options_.metrics->GetGauge("digest.last_verified_pos");
+  }
+}
+
+void DivergenceTracker::OnBeaconAppended() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++beacons_appended_;
+  if (appended_counter_ != nullptr) {
+    appended_counter_->Increment();
+  }
+}
+
+void DivergenceTracker::OnBeaconChecked(uint64_t pos, std::string_view proposer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++beacons_checked_;
+  last_proposer_.assign(proposer);
+  if (checked_counter_ != nullptr) {
+    checked_counter_->Increment();
+  }
+  (void)pos;
+}
+
+void DivergenceTracker::OnSampleMatch(uint64_t pos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pos > last_verified_pos_) {
+    last_verified_pos_ = pos;
+    if (verified_gauge_ != nullptr) {
+      verified_gauge_->Set(static_cast<int64_t>(pos));
+    }
+  }
+}
+
+void DivergenceTracker::OnSampleMismatch(uint64_t window_lo, uint64_t pos, uint64_t local_digest,
+                                         uint64_t remote_digest, std::string_view proposer,
+                                         uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++mismatches_;
+  if (mismatch_counter_ != nullptr) {
+    mismatch_counter_->Increment();
+  }
+  if (!convicted_) {
+    CaptureConvictionLocked(window_lo, pos, local_digest, remote_digest, proposer, trace_id);
+  }
+}
+
+void DivergenceTracker::CaptureConvictionLocked(uint64_t window_lo, uint64_t pos,
+                                                uint64_t local_digest, uint64_t remote_digest,
+                                                std::string_view proposer, uint64_t trace_id) {
+  convicted_ = true;
+  window_lo_ = window_lo;
+  window_hi_ = pos;
+  local_digest_ = local_digest;
+  remote_digest_ = remote_digest;
+  proposer_.assign(proposer);
+  trace_id_ = trace_id;
+  // Snapshot the flight ring BEFORE recording the kDivergence event, so the
+  // excerpt shows what led up to the conviction, not the conviction itself.
+  if (options_.recorder != nullptr) {
+    std::vector<FlightRecorder::Event> window = options_.recorder->Snapshot();
+    if (window.size() > options_.excerpt_events) {
+      window.erase(window.begin(), window.end() - static_cast<ptrdiff_t>(options_.excerpt_events));
+    }
+    std::ostringstream out;
+    for (const FlightRecorder::Event& event : window) {
+      out << "  #" << event.seq << " [" << event.micros << "us] "
+          << FlightEventKindName(event.kind);
+      if (event.trace_id != 0) {
+        out << " trace=" << event.trace_id;
+        if (window_trace_ids_.size() < options_.excerpt_trace_ids &&
+            std::find(window_trace_ids_.begin(), window_trace_ids_.end(), event.trace_id) ==
+                window_trace_ids_.end()) {
+          window_trace_ids_.push_back(event.trace_id);
+        }
+      }
+      if (event.a != 0 || event.b != 0) {
+        out << " a=" << event.a << " b=" << event.b;
+      }
+      if (!event.detail.empty()) {
+        out << " " << event.detail;
+      }
+      out << "\n";
+    }
+    flight_excerpt_ = out.str();
+    options_.recorder->Record(FlightEventKind::kDivergence,
+                              "digest mismatch vs " + proposer_, trace_id, window_lo_, window_hi_);
+  }
+}
+
+bool DivergenceTracker::convicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return convicted_;
+}
+
+uint64_t DivergenceTracker::window_lo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_lo_;
+}
+
+uint64_t DivergenceTracker::window_hi() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_hi_;
+}
+
+uint64_t DivergenceTracker::last_verified_pos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_verified_pos_;
+}
+
+uint64_t DivergenceTracker::beacons_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return beacons_appended_;
+}
+
+uint64_t DivergenceTracker::beacons_checked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return beacons_checked_;
+}
+
+uint64_t DivergenceTracker::mismatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mismatches_;
+}
+
+std::string DivergenceTracker::HealthReason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!convicted_) {
+    return "";
+  }
+  std::ostringstream out;
+  out << "digest divergence convicted in (" << window_lo_ << ", " << window_hi_ << "] vs "
+      << proposer_;
+  return out.str();
+}
+
+std::string DivergenceTracker::Render(bool include_digests) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "divergence report for " << options_.server << "\n";
+  out << "  beacons appended: " << beacons_appended_ << "\n";
+  out << "  beacons checked: " << beacons_checked_ << "\n";
+  out << "  mismatches: " << mismatches_ << "\n";
+  out << "  last verified pos: " << last_verified_pos_ << "\n";
+  if (!convicted_) {
+    out << "  verdict: no divergence\n";
+    return out.str();
+  }
+  out << "  verdict: DIVERGED in (" << window_lo_ << ", " << window_hi_ << "] vs " << proposer_
+      << "\n";
+  if (include_digests) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  digest pair: local=%016llx remote=%016llx\n",
+                  static_cast<unsigned long long>(local_digest_),
+                  static_cast<unsigned long long>(remote_digest_));
+    out << buf;
+  }
+  if (trace_id_ != 0) {
+    out << "  beacon trace: " << trace_id_ << "\n";
+  }
+  if (!window_trace_ids_.empty()) {
+    out << "  last traces in window:";
+    for (const uint64_t id : window_trace_ids_) {
+      out << " " << id;
+    }
+    out << "\n";
+  }
+  if (include_digests && !flight_excerpt_.empty()) {
+    out << "  flight excerpt:\n" << flight_excerpt_;
+  }
+  return out.str();
+}
+
+std::string DivergenceTracker::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"server\":\"" << JsonEscape(options_.server) << "\",\"convicted\":"
+      << (convicted_ ? "true" : "false") << ",\"beacons_appended\":" << beacons_appended_
+      << ",\"beacons_checked\":" << beacons_checked_ << ",\"mismatches\":" << mismatches_
+      << ",\"last_verified_pos\":" << last_verified_pos_;
+  if (convicted_) {
+    out << ",\"window_lo\":" << window_lo_ << ",\"window_hi\":" << window_hi_
+        << ",\"local_digest\":" << local_digest_ << ",\"remote_digest\":" << remote_digest_
+        << ",\"proposer\":\"" << JsonEscape(proposer_) << "\",\"beacon_trace\":" << trace_id_
+        << ",\"window_traces\":[";
+    for (size_t i = 0; i < window_trace_ids_.size(); ++i) {
+      if (i != 0) {
+        out << ",";
+      }
+      out << window_trace_ids_[i];
+    }
+    out << "],\"flight_excerpt\":\"" << JsonEscape(flight_excerpt_) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace delos

@@ -145,6 +145,10 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "health";
     case FlightEventKind::kWorkload:
       return "workload";
+    case FlightEventKind::kDivergence:
+      return "divergence";
+    case FlightEventKind::kSeal:
+      return "seal";
   }
   return "unknown";
 }

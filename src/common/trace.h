@@ -133,6 +133,8 @@ enum class FlightEventKind : uint8_t {
   kNet = 10,        // network-level event (drop, partition)
   kHealth = 11,     // watchdog health transition (a = new state, b = value)
   kWorkload = 12,   // hot key/client crossed the share threshold (a = ops, b = share %)
+  kDivergence = 13, // digest beacon mismatch convicted divergence (a = window lo, b = window hi)
+  kSeal = 14,       // loglet sealed (a = cached records invalidated by the seal)
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -46,6 +46,13 @@ class ApplyProfiler {
           slot_(profiler != nullptr ? profiler->LabelSlot(label) : nullptr),
           start_micros_(profiler != nullptr ? profiler->NowMicros() : 0) {}
 
+    // Hot-path variant: the caller resolved the slot once (LabelSlot) and
+    // reuses it, skipping the shared-lock label lookup on every record.
+    Scope(ApplyProfiler* profiler, std::atomic<int64_t>* slot)
+        : profiler_(profiler),
+          slot_(slot),
+          start_micros_(profiler != nullptr ? profiler->NowMicros() : 0) {}
+
     ~Scope() {
       if (profiler_ != nullptr) {
         slot_->fetch_add(profiler_->NowMicros() - start_micros_, std::memory_order_relaxed);
@@ -110,10 +117,10 @@ class ApplyProfiler {
     total_records_.store(0, std::memory_order_relaxed);
   }
 
- private:
   // Resolves a label to its accumulator. The common case (label already
   // registered) takes only the shared lock; the slot pointer stays stable
-  // for the profiler's lifetime, so scopes hold it across the timed region.
+  // for the profiler's lifetime (Reset zeroes slots in place), so callers on
+  // a per-record path resolve once and construct Scopes from the raw slot.
   std::atomic<int64_t>* LabelSlot(const std::string& label) {
     {
       std::shared_lock<std::shared_mutex> lock(mu_);
@@ -130,6 +137,7 @@ class ApplyProfiler {
     return slot.get();
   }
 
+ private:
   Clock* clock_;
   mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<std::atomic<int64_t>>> slots_;

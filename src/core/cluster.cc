@@ -69,6 +69,7 @@ ClusterServer::ClusterServer(std::string id, std::shared_ptr<ISharedLog> log,
     cache_options.capacity_records = base_options.read_cache_capacity;
     cache_options.write_through = base_options.read_cache_write_through;
     cache_options.metrics = base_options.metrics;
+    cache_options.recorder = recorder_;
     read_cache_ = std::make_shared<ReadCachingLog>(log_, cache_options);
     log_ = read_cache_;
   }

@@ -17,6 +17,10 @@ StackableEngine::StackableEngine(std::string name, IEngine* downstream, LocalSto
       options_(options),
       space_("e/" + name_ + "/"),
       enabled_key_(space_.Key("enabled")) {
+  if (options_.profiler != nullptr) {
+    apply_slot_ = options_.profiler->LabelSlot(apply_label_);
+    postapply_slot_ = options_.profiler->LabelSlot(postapply_label_);
+  }
   // Recover the enabled flag; absent means "configured statically".
   auto flag = store_->Snapshot().Get(enabled_key_);
   if (flag.has_value()) {
@@ -113,7 +117,7 @@ void StackableEngine::RelayTrim() {
 }
 
 std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  ApplyProfiler::Scope scope(options_.profiler, apply_label_);
+  ApplyProfiler::Scope scope(options_.profiler, apply_slot_);
   // Up-path span: this layer's apply of a traced entry, attributed to this
   // replica. Untraced entries (tracer off, or no trace header) pay only the
   // header lookup.
@@ -128,7 +132,9 @@ std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   }
   upstream_applied_ = false;
   std::any result = ApplyImpl(txn, entry, pos);
-  upstream_applied_carry_.Push(pos, upstream_applied_);
+  outcome_carry_.Push(
+      pos, ApplyOutcome{upstream_applied_,
+                        apply_header_.has_value() && apply_header_->msgtype != kMsgTypeApp});
   if (!trace_ids.empty()) {
     const int64_t trace_end = tracer->NowMicros();
     for (const uint64_t id : trace_ids) {
@@ -141,7 +147,9 @@ std::any StackableEngine::Apply(RWTxn& txn, const LogEntry& entry, LogPos pos) {
 std::any StackableEngine::ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   // Borrowed header peek: the app-data hot path only needs the msgtype, so
   // no blob is copied; the control path materializes the header it consumes.
-  auto header = entry.GetHeaderView(name_);
+  // Stashed for the hooks (apply_header()) so they never look it up again.
+  apply_header_ = entry.GetHeaderView(name_);
+  const std::optional<EngineHeaderView>& header = apply_header_;
   if (header.has_value() && header->msgtype != kMsgTypeApp) {
     // Engine-generated control entry: consumed here, never forwarded.
     if (header->msgtype == kMsgTypeEnable) {
@@ -198,13 +206,28 @@ std::any StackableEngine::CallUpstream(RWTxn& txn, const LogEntry& entry, LogPos
 }
 
 void StackableEngine::PostApply(const LogEntry& entry, LogPos pos) {
-  ApplyProfiler::Scope scope(options_.profiler, postapply_label_);
-  // Restore this entry's parked flag before dispatching so ForwardPostApply
-  // (called from the hooks below) sees the value Apply computed for `pos`,
-  // not for whatever record the batch applied last.
-  upstream_applied_ = upstream_applied_carry_.Take(pos).value_or(false);
-  auto header = entry.GetHeaderView(name_);
-  if (header.has_value() && header->msgtype != kMsgTypeApp) {
+  ApplyProfiler::Scope scope(options_.profiler, postapply_slot_);
+  // Restore this entry's parked outcome before dispatching so
+  // ForwardPostApply (called from the hooks below) sees the value Apply
+  // computed for `pos`, not for whatever record the batch applied last. The
+  // outcome also says whether this was our control entry, so the data path
+  // — every applied record — skips the header lookup; only control entries
+  // (and the rare no-outcome fallback, when Apply never ran for `pos`)
+  // re-fetch the header.
+  bool control = false;
+  if (auto outcome = outcome_carry_.Take(pos); outcome.has_value()) {
+    upstream_applied_ = outcome->upstream_applied;
+    control = outcome->control;
+  } else {
+    upstream_applied_ = false;
+    auto peek = entry.GetHeaderView(name_);
+    control = peek.has_value() && peek->msgtype != kMsgTypeApp;
+  }
+  if (control) {
+    auto header = entry.GetHeaderView(name_);
+    if (!header.has_value()) {
+      return;
+    }
     if (header->msgtype == kMsgTypeEnable) {
       enabled_.store(true, std::memory_order_release);
       LOG_INFO << "engine " << name_ << " enabled via log at pos " << pos;

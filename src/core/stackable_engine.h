@@ -182,6 +182,12 @@ class StackableEngine : public IEngine, public IApplicator, public IHealthChecka
   void RecordRootSpanOnCompletion(Future<std::any>& future, std::vector<uint64_t> ids,
                                   int64_t start);
 
+  // This engine's header on the entry currently being applied, found once by
+  // the dispatch in Apply. Valid only inside ApplyData/ApplyControl on the
+  // apply thread (the view borrows from the entry); engines that need their
+  // own header read this instead of a second GetHeaderView per record.
+  const std::optional<EngineHeaderView>& apply_header() const { return apply_header_; }
+
   IEngine* downstream() { return downstream_; }
   IApplicator* upstream() { return upstream_; }
   LocalStore* store() { return store_; }
@@ -197,11 +203,24 @@ class StackableEngine : public IEngine, public IApplicator, public IHealthChecka
   void RelayTrim();
   std::any ApplyImpl(RWTxn& txn, const LogEntry& entry, LogPos pos);
 
+  // What Apply learned about an entry, parked for its PostApply: whether the
+  // upstream apply ran, and whether the entry was this engine's own control
+  // entry — so the data-path PostApply (every record) skips the header map
+  // lookup entirely and only control entries (rare) re-fetch their header.
+  struct ApplyOutcome {
+    bool upstream_applied = false;
+    bool control = false;
+  };
+
   std::string name_;
   // Precomputed profiler/span labels (hot-path Scope takes a reference).
   std::string apply_label_;
   std::string postapply_label_;
   std::string down_label_;
+  // Pre-resolved profiler slots for the two per-record scopes (null when no
+  // profiler): skips the profiler's shared-lock label lookup per record.
+  std::atomic<int64_t>* apply_slot_ = nullptr;
+  std::atomic<int64_t>* postapply_slot_ = nullptr;
   // Which replica this engine instance runs on; attributed on its spans.
   std::string server_label_;
   IEngine* downstream_;
@@ -217,7 +236,10 @@ class StackableEngine : public IEngine, public IApplicator, public IHealthChecka
   // entry currently being applied? Parked per position across the batch gap
   // between Apply and PostApply.
   bool upstream_applied_ = false;
-  ApplyCarry<bool> upstream_applied_carry_;
+  ApplyCarry<ApplyOutcome> outcome_carry_;
+  // This engine's header on the entry currently being applied (see
+  // apply_header()); dispatch-owned, apply thread only.
+  std::optional<EngineHeaderView> apply_header_;
 };
 
 }  // namespace delos

@@ -41,7 +41,7 @@ void CompressionEngine::OnPropose(LogEntry* entry) {
 }
 
 std::any CompressionEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  auto header = entry.GetHeader(name());
+  const std::optional<EngineHeaderView>& header = apply_header();
   if (!header.has_value() || header->blob != "1") {
     decompressed_carry_.Push(pos, std::nullopt);
     return CallUpstream(txn, entry, pos);

@@ -118,7 +118,7 @@ Future<std::any> LeaseEngine::Propose(LogEntry entry) {
 std::any LeaseEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
   const LeaseState state = ReadState(txn);
   if (!state.holder.empty()) {
-    auto header = entry.GetHeader(name());
+    const std::optional<EngineHeaderView>& header = apply_header();
     if (header.has_value()) {
       Deserializer de(header->blob);
       const std::string proposer = de.ReadString();

@@ -30,7 +30,7 @@ std::string EncodeSessionHeader(const std::string& session, uint64_t seq) {
   return ser.Release();
 }
 
-std::pair<std::string, uint64_t> DecodeSessionHeader(const std::string& blob) {
+std::pair<std::string, uint64_t> DecodeSessionHeader(std::string_view blob) {
   Deserializer de(blob);
   std::string session = de.ReadString();
   const uint64_t seq = de.ReadVarint();
@@ -153,7 +153,7 @@ std::any SessionOrderEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos
 
 std::any SessionOrderEngine::ApplyDataImpl(RWTxn& txn, const LogEntry& entry, LogPos pos,
                                            Carried& carried) {
-  auto header = entry.GetHeader(name());
+  const std::optional<EngineHeaderView>& header = apply_header();
   if (!header.has_value()) {
     // Entry from a stack iteration without this engine: pass through.
     return CallUpstream(txn, entry, pos);

@@ -38,6 +38,24 @@ void BuildStack(ClusterServer& server, const StackConfig& config) {
 
   add_observer("base");
 
+  if (config.digest) {
+    // Bottom of the middle stack: applying a record, the digest runs before
+    // any other layer stages that record's writes, so the beacon digest is
+    // exactly "state after the prefix" on every replica.
+    DigestEngine::Options options;
+    options.server_id = server.id();
+    options.beacon_every_n_proposals = config.digest_beacon_every;
+    options.beacon_interval_micros = config.digest_beacon_interval_micros;
+    options.sample_window = config.digest_sample_window;
+    options.clock = config.clock;
+    options.profiler = server.profiler();
+    options.metrics = server.metrics();
+    options.recorder = server.flight_recorder();
+    options.start_enabled = config.digest_start_enabled;
+    server.AddEngine<DigestEngine>(options);
+    add_observer("digest");
+  }
+
   if (config.log_backup) {
     LogBackupEngine::Options options;
     options.server_id = server.id();

@@ -1,9 +1,9 @@
 // Assembles production-shaped engine stacks (paper Figure 6).
 //
-//   DelosTable stack: Base | LogBackup | BrainDoctor | ViewTracking
-//   Zelos stack:      Base | LogBackup | BrainDoctor | ViewTracking
+//   DelosTable stack: Base | Digest | LogBackup | BrainDoctor | ViewTracking
+//   Zelos stack:      Base | Digest | LogBackup | BrainDoctor | ViewTracking
 //                          | SessionOrder | Batching
-//   Passive (non-voting follower) stack: Base | BrainDoctor
+//   Passive (non-voting follower) stack: Base | Digest | BrainDoctor
 //     (no ViewTracking: passive servers must not be counted as durable
 //     replicas; no Batching/SessionOrder: they do not propose)
 //
@@ -17,6 +17,7 @@
 #include "src/core/cluster.h"
 #include "src/engines/batching_engine.h"
 #include "src/engines/brain_doctor_engine.h"
+#include "src/engines/digest_engine.h"
 #include "src/engines/lease_engine.h"
 #include "src/engines/log_backup_engine.h"
 #include "src/engines/observer_engine.h"
@@ -34,6 +35,9 @@ struct StackConfig {
   bool batching = false;
   bool time = false;
   bool lease = false;
+  // Digest-beacon divergence detection (DigestEngine, bottom of the middle
+  // stack so its apply-side digest sees the prefix before this record).
+  bool digest = true;
   // Layer an ObserverEngine above every engine (incl. the BaseEngine).
   bool observers = false;
 
@@ -47,6 +51,16 @@ struct StackConfig {
   int64_t eject_after_micros = 0;
   // ViewTracking heartbeat interval (0 = only piggyback on app proposals).
   int64_t view_heartbeat_micros = 0;
+  // Digest beacon cadence: header every N proposals (0 = count-based off)
+  // and optional idle heartbeat (0 = off; sims keep it off for determinism).
+  uint64_t digest_beacon_every = 64;
+  int64_t digest_beacon_interval_micros = 0;
+  size_t digest_sample_window = 8;
+  // Deploy the digest layer disabled (phase one of two-phase insertion): it
+  // sits in the stack and forwards entries but checks no beacons until
+  // EnableViaLog. The digest bench uses this to price enabling the plane on
+  // a stack that already carries the layer.
+  bool digest_start_enabled = true;
   Clock* clock = nullptr;
 };
 

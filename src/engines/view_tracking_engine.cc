@@ -100,7 +100,7 @@ void ViewTrackingEngine::OnPropose(LogEntry* entry) {
 }
 
 std::any ViewTrackingEngine::ApplyData(RWTxn& txn, const LogEntry& entry, LogPos pos) {
-  auto header = entry.GetHeader(name());
+  const std::optional<EngineHeaderView>& header = apply_header();
   if (header.has_value()) {
     Deserializer de(header->blob);
     const std::string server = de.ReadString();

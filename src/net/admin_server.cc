@@ -10,6 +10,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/engines/digest_engine.h"
+
 namespace delos {
 
 namespace {
@@ -122,6 +124,12 @@ AdminResponse AdminEndpoint::Handle(const std::string& raw_path) const {
   }
   if (path == "/top/keys") {
     return TopKeys(json);
+  }
+  if (path == "/digest") {
+    return Digest(json);
+  }
+  if (path == "/divergence") {
+    return Divergence(json);
   }
   if (path == "/top/clients") {
     return TopClients(json);
@@ -311,6 +319,30 @@ AdminResponse AdminEndpoint::TopKeys(bool json) const {
     return AdminResponse{200, "application/json", workload->RenderTopKeysJson() + "\n"};
   }
   return AdminResponse{200, "text/plain; charset=utf-8", workload->RenderTopKeys()};
+}
+
+AdminResponse AdminEndpoint::Digest(bool json) const {
+  auto* digest = dynamic_cast<DigestEngine*>(server_->FindEngine("digest"));
+  if (digest == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "digest beacons are not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", digest->RenderJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", digest->Render()};
+}
+
+AdminResponse AdminEndpoint::Divergence(bool json) const {
+  auto* digest = dynamic_cast<DigestEngine*>(server_->FindEngine("digest"));
+  if (digest == nullptr) {
+    return AdminResponse{404, "text/plain; charset=utf-8",
+                         "digest beacons are not enabled\n"};
+  }
+  if (json) {
+    return AdminResponse{200, "application/json", digest->tracker()->RenderJson() + "\n"};
+  }
+  return AdminResponse{200, "text/plain; charset=utf-8", digest->tracker()->Render()};
 }
 
 AdminResponse AdminEndpoint::TopClients(bool json) const {

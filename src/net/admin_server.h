@@ -11,10 +11,12 @@
 //    (per-stage latency attribution + critical-path dominance), /slow
 //    (slow-trace exemplar list; /slow/<trace-id> detail), /workload
 //    (per-layer resource accounting + hot-spot verdicts), /top/keys and
-//    /top/clients (heavy-hitter tables from the workload sketches).
+//    /top/clients (heavy-hitter tables from the workload sketches),
+//    /digest (digest-beacon counters + sample table) and /divergence (the
+//    earliest-divergence conviction report).
 //    Appending ?format=json to /metrics, /status, /top, /latency, /slow,
-//    /workload, /top/keys, or /top/clients switches the body to
-//    machine-readable JSON (the `delosctl --json` transport).
+//    /workload, /top/keys, /top/clients, /digest, or /divergence switches
+//    the body to machine-readable JSON (the `delosctl --json` transport).
 //    Handle() is a plain function call, so unit tests and the simulator
 //    exercise every route with no sockets.
 //
@@ -69,6 +71,8 @@ class AdminEndpoint {
   AdminResponse Workload(bool json) const;
   AdminResponse TopKeys(bool json) const;
   AdminResponse TopClients(bool json) const;
+  AdminResponse Digest(bool json) const;
+  AdminResponse Divergence(bool json) const;
 
   ClusterServer* server_;
 };

@@ -7,7 +7,9 @@
 namespace delos {
 
 ReadCachingLog::State::State(const ReadCacheOptions& options)
-    : capacity(options.capacity_records), write_through(options.write_through) {
+    : capacity(options.capacity_records),
+      write_through(options.write_through),
+      recorder(options.recorder) {
   if (options.metrics != nullptr) {
     hit_counter = options.metrics->GetCounter("read.cache.hits");
     miss_counter = options.metrics->GetCounter("read.cache.misses");
@@ -177,7 +179,16 @@ LogPos ReadCachingLog::trim_prefix() const {
 void ReadCachingLog::Seal() {
   // Conservative: committed entries would stay valid across a seal, but seal
   // precedes reconfiguration and is rare — drop everything.
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    dropped = state_->cache.size();
+  }
   InvalidateAll();
+  if (state_->recorder != nullptr) {
+    state_->recorder->Record(FlightEventKind::kSeal, "loglet sealed; cache dropped", 0,
+                             static_cast<uint64_t>(dropped));
+  }
   inner_->Seal();
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/sharedlog/shared_log.h"
 
 namespace delos {
@@ -55,6 +56,9 @@ struct ReadCacheOptions {
   bool write_through = true;
   // Optional registry for the read.cache.* counters and entries gauge.
   MetricsRegistry* metrics = nullptr;
+  // Optional flight recorder; Seal() records a kSeal event through it (seal
+  // precedes reconfiguration, so the ring keeps a breadcrumb of every swap).
+  FlightRecorder* recorder = nullptr;
 };
 
 class ReadCachingLog : public ISharedLog {
@@ -110,6 +114,8 @@ class ReadCachingLog : public ISharedLog {
     std::atomic<uint64_t> fetches{0};
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> waits{0};
+
+    FlightRecorder* recorder = nullptr;
 
     Counter* hit_counter = nullptr;
     Counter* miss_counter = nullptr;

@@ -208,12 +208,17 @@ class SimCluster::Impl {
       // already completed, so no new appends originate after this.
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       RestartCrashed(report);
-      const LogPos tail = inner_log_->CheckTail().Get() - 1;
+      LogPos tail = inner_log_->CheckTail().Get() - 1;
       report.final_tail = tail;
       FinalSync(report, tail);
       DrainFatals(report);
       if (report.ok()) {
         Sabotage();
+        // Two beacon rounds AFTER the sabotage: the online detector must
+        // convict the same corruption the offline reference diff below
+        // catches. Beacons extend the log, so the capture tail moves.
+        tail = DriveBeacons(report, tail);
+        report.final_tail = tail;
         CaptureAndCompare(report, tail);
       }
     }
@@ -275,6 +280,37 @@ class SimCluster::Impl {
                                  rig.server->workload()->RenderTopKeys() +
                                  rig.server->workload()->RenderTopClients();
     }
+    // Digest-beacon divergence verdicts. The summary carries only schedule-
+    // determined fields — conviction windows, proposer ids, counters; never
+    // absolute digest values, which fold per-incarnation engine instance ids
+    // and legitimately vary across runs — so a convicting seed's summary is
+    // byte-identical across replays (checkpoint flushes pinned off, as with
+    // the workload suite). The artifact is the full conviction report
+    // (digest pair + flight excerpt) for CI upload only.
+    if (options_.digest_beacon_every > 0) {
+      for (Rig& rig : rigs_) {
+        if (rig.server == nullptr) {
+          continue;
+        }
+        auto* digest = dynamic_cast<DigestEngine*>(rig.server->FindEngine("digest"));
+        if (digest == nullptr) {
+          continue;
+        }
+        const DivergenceTracker* tracker = digest->tracker();
+        if (tracker->convicted()) {
+          report.divergence_convicted = true;
+        }
+        report.divergence_mismatches += tracker->mismatches();
+        const std::string reason = tracker->HealthReason();
+        report.divergence_summary +=
+            "server " + rig.id + ": " + (reason.empty() ? "no divergence" : reason) +
+            "; beacons_checked=" + std::to_string(tracker->beacons_checked()) +
+            " mismatches=" + std::to_string(tracker->mismatches()) +
+            " last_verified_pos=" + std::to_string(tracker->last_verified_pos()) + "\n";
+        report.divergence_artifact += "== server " + rig.id + " divergence ==\n" +
+                                      tracker->Render(/*include_digests=*/true);
+      }
+    }
     rigs_.clear();
     inner_log_.reset();
     std::filesystem::remove_all(run_dir_, ec);
@@ -297,6 +333,12 @@ class SimCluster::Impl {
       config.backup_segment_size = 1'000'000;
       config.session_order = true;
       config.batching = true;
+      // Beacon cadence from SimOptions (default 0 = off): existing schedules
+      // must keep producing byte-identical logs, so the production default of
+      // the StackConfig never leaks into a sim run. No heartbeat: an idle-
+      // timer beacon would propose at schedule-independent times.
+      config.digest_beacon_every = options_.digest_beacon_every;
+      config.digest_beacon_interval_micros = 0;
       BuildStack(server, config);
       return;
     }
@@ -306,6 +348,10 @@ class SimCluster::Impl {
     // Keep the upload worker passive: a mid-run backup bid would propose at
     // schedule-independent times and break run determinism.
     config.backup_segment_size = 1'000'000;
+    // Same determinism rule as the verify branch: sim cadence only, no
+    // heartbeat.
+    config.digest_beacon_every = options_.digest_beacon_every;
+    config.digest_beacon_interval_micros = 0;
     if (options_.shape == StackShape::kFullNine) {
       config.session_order = true;
       config.batching = true;
@@ -797,6 +843,43 @@ class SimCluster::Impl {
       txn.Put("sim/sabotage", "divergent");
       txn.Commit();
     }
+  }
+
+  // Two deterministic digest-beacon rounds (digest_beacon_every > 0 only):
+  // every server proposes a standalone beacon in index order, then everyone
+  // syncs to the new tail. Round 1 publishes each replica's digest at a
+  // fresh position — a sabotaged store diverges there; round 2 carries those
+  // samples inside beacons so every replica cross-checks them and the
+  // divergent one is convicted on all replicas. Random plans exhaust their
+  // crash positions during the workload (triggers sit in [2, num_ops]), but
+  // a hand-written plan may leave one armed past the old tail — the retry
+  // loop restarts a wedged rig and proposes again, all schedule-determined.
+  LogPos DriveBeacons(RunReport& report, LogPos tail) {
+    if (options_.digest_beacon_every == 0) {
+      return tail;
+    }
+    for (int round = 0; round < 2 && report.ok(); ++round) {
+      for (Rig& rig : rigs_) {
+        bool proposed = false;
+        for (int attempt = 0; attempt < 4 && !proposed; ++attempt) {
+          StopCrashed();
+          RestartCrashed(report);
+          auto* digest = dynamic_cast<DigestEngine*>(rig.server->FindEngine("digest"));
+          if (digest == nullptr) {
+            return tail;  // a shape without the digest layer: nothing to drive
+          }
+          proposed = digest->ProposeBeaconNow(options_.op_timeout_micros);
+        }
+        if (!proposed) {
+          RecordFailure(report, "server " + rig.id + " failed to apply its digest beacon");
+          return inner_log_->CheckTail().Get() - 1;
+        }
+      }
+      tail = inner_log_->CheckTail().Get() - 1;
+      FinalSync(report, tail);
+      DrainFatals(report);
+    }
+    return tail;
   }
 
   // Replays the run's final log bytes through a fresh fault-free stack and

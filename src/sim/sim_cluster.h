@@ -97,6 +97,15 @@ struct SimOptions {
   // of the schedule. Verdict-only sweeps leave it at 0; verdicts are
   // flush-timing independent by design.
   int64_t flush_interval_micros = 0;
+  // Digest-beacon cadence for the stack's DigestEngine (0 = beacons off).
+  // Off by default so every pre-existing schedule's log bytes — and hence
+  // every byte-identity assertion over old reports — stay untouched. When
+  // >0, proposals are stamped with beacon headers at this cadence and,
+  // after the workload quiesces, the driver runs two deterministic beacon
+  // rounds (every server proposes a standalone beacon in index order, then
+  // everyone syncs) so post-quiesce state — including a kSabotage
+  // corruption — is cross-checked before capture.
+  uint64_t digest_beacon_every = 0;
   FaultPlanOptions plan;  // used by RunSeed
 
   // Verification workload knobs (ignored for kLegacy).
@@ -146,6 +155,21 @@ struct RunReport {
   // two replays of one seed must produce byte-identical text, and the
   // planted hot key / top client appear by name). Excluded from Summary().
   std::string workload_summary;  // per-server RenderWorkload() + top tables
+
+  // Digest-beacon divergence verdicts (digest_beacon_every > 0 only).
+  // divergence_summary carries only schedule-determined fields — per-server
+  // conviction windows, proposer ids, and beacon counters; NO absolute
+  // digest values, which fold per-incarnation engine instance ids and so
+  // legitimately vary across runs — making a convicting seed's summary
+  // byte-identical across replays. divergence_artifact is the full-fidelity
+  // conviction report (digest pair + flight excerpt + trace ids) for CI
+  // upload, excluded from byte-identity comparisons. A conviction does NOT
+  // append a failure string by itself: the sabotage sweep asserts convicted
+  // runs, the fault-free sweep asserts clean ones.
+  bool divergence_convicted = false;
+  uint64_t divergence_mismatches = 0;
+  std::string divergence_summary;
+  std::string divergence_artifact;
 
   // Linearizability audit (verify workloads only; verify_ran stays false for
   // kLegacy and the verdict renders as "n/a"). A non-linearizable history or

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include <sys/wait.h>
@@ -39,7 +40,7 @@ CommandResult RunCli(const std::string& args) {
 TEST(DelosctlSmoke, EverySubcommandSucceedsOverDemoCluster) {
   for (const char* command : {"status", "top", "stack", "metrics", "healthz", "flight",
                               "trace", "latency", "slow", "workload", "top keys",
-                              "top clients"}) {
+                              "top clients", "digest", "divergence"}) {
     SCOPED_TRACE(command);
     // "trace" with no id resolves to the demo run's most recent trace.
     const CommandResult result = RunCli(std::string("--demo ") + command);
@@ -68,7 +69,8 @@ TEST(DelosctlSmoke, JsonFlagSwitchesOutputToMachineReadable) {
   for (const Case& c : {Case{"status", "\"components\""}, Case{"top", "\"windows\""},
                         Case{"metrics", "\"histograms\""}, Case{"latency", "\"stages\""},
                         Case{"slow", "\"traces\""}, Case{"workload", "\"layers\""},
-                        Case{"top keys", "\"keys\""}, Case{"top clients", "\"clients\""}}) {
+                        Case{"top keys", "\"keys\""}, Case{"top clients", "\"clients\""},
+                        Case{"digest", "\"samples\""}, Case{"divergence", "\"convicted\""}}) {
     SCOPED_TRACE(c.command);
     const CommandResult result = RunCli(std::string("--demo --json ") + c.command);
     EXPECT_EQ(result.exit_code, 0) << "stdout:\n" << result.stdout_text;
@@ -107,6 +109,25 @@ TEST(DelosctlSmoke, WorkloadSurfacesNameTheDemoKeys) {
   ASSERT_EQ(workload.exit_code, 0);
   EXPECT_NE(workload.stdout_text.find("per-layer propose usage"), std::string::npos)
       << workload.stdout_text;
+}
+
+TEST(DelosctlSmoke, DigestBeaconsCheckVerifiablyRanOverTheDemoBurst) {
+  // The demo stack runs a tight beacon cadence (every 8 proposals), so the
+  // 80+-proposal demo burst must leave a non-zero checked-beacon count — a
+  // zero here means beacons were appended but never cross-checked.
+  const CommandResult result = RunCli("--demo --json digest");
+  ASSERT_EQ(result.exit_code, 0) << result.stdout_text;
+  const std::string marker = "\"beacons_checked\":";
+  const size_t at = result.stdout_text.find(marker);
+  ASSERT_NE(at, std::string::npos) << result.stdout_text;
+  const uint64_t checked = std::strtoull(
+      result.stdout_text.c_str() + at + marker.size(), nullptr, 10);
+  EXPECT_GT(checked, 0u) << result.stdout_text;
+  // No divergence on a healthy demo cluster.
+  const CommandResult divergence = RunCli("--demo divergence");
+  ASSERT_EQ(divergence.exit_code, 0);
+  EXPECT_NE(divergence.stdout_text.find("no divergence"), std::string::npos)
+      << divergence.stdout_text;
 }
 
 TEST(DelosctlSmoke, UsageErrorsExitTwo) {

@@ -1,0 +1,203 @@
+// Digest-beacon divergence detection, simulator coverage.
+//
+//  * Sabotage conviction: a kSabotage fault corrupts one replica's store
+//    after the workload quiesces; the post-sabotage beacon rounds must
+//    convict divergence on EVERY server, on every seed, and the
+//    schedule-determined divergence summary must be byte-identical across
+//    replays of the same schedule (checkpoint flushes pinned off, as in the
+//    workload-attribution suite).
+//  * False-positive freedom: a fault-free-of-sabotage seed sweep (crashes,
+//    torn flushes, append timeout / drop / duplicate / reorder all active)
+//    must report zero digest mismatches and no conviction while the beacons
+//    demonstrably ran. DELOS_DIGEST_SCHEDULES scales the sweep.
+//
+// A failing seed writes its plan, divergence artifact (digest pair + flight
+// excerpt), and flight dump to DELOS_DIGEST_ARTIFACT_DIR for CI to upload.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/sim/sim_cluster.h"
+
+namespace delos {
+namespace {
+
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::RunReport;
+using sim::SimCluster;
+using sim::SimOptions;
+using sim::StackShape;
+
+int EnvInt(const char* name, int fallback, int floor) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const int parsed = std::atoi(value);
+  return parsed < floor ? floor : parsed;
+}
+
+std::filesystem::path ArtifactDir() {
+  const char* dir = std::getenv("DELOS_DIGEST_ARTIFACT_DIR");
+  return (dir != nullptr && *dir != '\0') ? std::filesystem::path(dir)
+                                          : std::filesystem::path("digest_artifacts");
+}
+
+// Everything needed to chase a failing seed offline: the plan, the verdict
+// summary, the full-fidelity divergence artifact (digest pair + flight
+// excerpt + trace ids), and the flight dump. ci.yml uploads this directory
+// when the digest suite fails.
+void DumpArtifacts(const RunReport& report, const std::string& kind) {
+  const std::filesystem::path dir = ArtifactDir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string prefix = "seed_" + std::to_string(report.seed) + "_" + kind;
+  {
+    std::ofstream out(dir / (prefix + "_plan.txt"));
+    out << report.Summary() << "\nfault plan:\n" << report.plan_text;
+  }
+  {
+    std::ofstream out(dir / (prefix + "_divergence.txt"));
+    out << report.divergence_summary << "\n" << report.divergence_artifact;
+  }
+  std::ofstream(dir / (prefix + "_flight.txt")) << report.flight_dump;
+}
+
+std::string ScratchDir(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / ("delos_sim_digest_" + leaf)).string();
+}
+
+SimOptions DigestOptions(const std::string& leaf) {
+  SimOptions options;
+  options.shape = StackShape::kDelosTable;
+  options.num_servers = 3;
+  options.num_ops = 24;
+  options.plan.num_ops = 24;
+  options.scratch_dir = ScratchDir(leaf);
+  // A tight cadence so beacons flow during the short workload and the
+  // conviction window is narrow.
+  options.digest_beacon_every = 4;
+  // Freeze background checkpoint flushes: a crashed server cold-starts from
+  // the log, so its beacon counters — and hence the divergence summary — are
+  // a pure function of the schedule (same pinning as the workload suite).
+  options.flush_interval_micros = 3'600'000'000;
+  return options;
+}
+
+// The sabotaged replica diverges from the fault-free reference replay, so a
+// sabotage run legitimately FAILS the offline checksum diff; the online
+// detector must agree (conviction), not add unrelated failures.
+void ExpectOnlyChecksumFailures(const RunReport& report) {
+  EXPECT_FALSE(report.ok());
+  for (const std::string& failure : report.failures) {
+    EXPECT_NE(failure.find("diverges from the"), std::string::npos) << failure;
+  }
+}
+
+TEST(SimDigestTest, SabotageConvictsEveryServerWithReplayIdenticalReport) {
+  SimOptions options = DigestOptions("sabotage");
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.events = {{FaultKind::kSabotage, 1, 0, 0}};
+
+  SimCluster cluster_a(options);
+  const RunReport first = cluster_a.Run(plan);
+  SimCluster cluster_b(options);
+  const RunReport second = cluster_b.Run(plan);
+
+  ExpectOnlyChecksumFailures(first);
+  EXPECT_TRUE(first.divergence_convicted) << first.divergence_summary;
+  EXPECT_GT(first.divergence_mismatches, 0u);
+  // Every server convicts — the corrupt replica sees everyone else's digests
+  // disagree with its own, the healthy ones see its beacons disagree.
+  for (const char* server : {"server s0:", "server s1:", "server s2:"}) {
+    const size_t at = first.divergence_summary.find(server);
+    ASSERT_NE(at, std::string::npos) << first.divergence_summary;
+    const size_t line_end = first.divergence_summary.find('\n', at);
+    const std::string line = first.divergence_summary.substr(at, line_end - at);
+    EXPECT_NE(line.find("digest divergence convicted in ("), std::string::npos) << line;
+  }
+  // The earliest-divergence report is byte-identical across replays of the
+  // schedule: positions, proposer ids, and counters only — never absolute
+  // digest values.
+  EXPECT_EQ(first.divergence_summary, second.divergence_summary);
+  EXPECT_EQ(first.Summary(), second.Summary());
+  // The full-fidelity artifact carries what the summary deliberately omits.
+  EXPECT_NE(first.divergence_artifact.find("digest pair:"), std::string::npos)
+      << first.divergence_artifact;
+  EXPECT_NE(first.divergence_artifact.find("flight excerpt:"), std::string::npos)
+      << first.divergence_artifact;
+  if (!first.divergence_convicted || first.divergence_summary != second.divergence_summary) {
+    DumpArtifacts(first, "sabotage_a");
+    DumpArtifacts(second, "sabotage_b");
+  }
+}
+
+TEST(SimDigestTest, SabotageConvictsUnderConcurrentFaultSchedules) {
+  // Sabotage layered over randomized crash + append-fault schedules: the
+  // conviction must land on every seed and replay byte-identically.
+  for (uint64_t seed : {11u, 212u, 3333u}) {
+    SimOptions options = DigestOptions("sabotage_sweep");
+    FaultPlan plan = FaultPlan::Random(seed, options.plan);
+    plan.events.push_back({FaultKind::kSabotage, 2, 0, 0});
+
+    SimCluster cluster_a(options);
+    const RunReport first = cluster_a.Run(plan);
+    SimCluster cluster_b(options);
+    const RunReport second = cluster_b.Run(plan);
+
+    ExpectOnlyChecksumFailures(first);
+    EXPECT_TRUE(first.divergence_convicted)
+        << "seed " << seed << "\n" << first.divergence_summary;
+    EXPECT_EQ(first.divergence_summary, second.divergence_summary) << "seed " << seed;
+    if (!first.divergence_convicted || first.divergence_summary != second.divergence_summary) {
+      DumpArtifacts(first, "sabotage_sweep_a");
+      DumpArtifacts(second, "sabotage_sweep_b");
+    }
+  }
+}
+
+TEST(SimDigestTest, FaultFreeSweepNeverMismatches) {
+  // ≥20 sabotage-free seeds with the full fault arsenal active: crash (clean
+  // and torn-flush), append timeout, drop, duplicate, reorder. The digest
+  // plane must stay silent — zero mismatches, zero convictions — while
+  // demonstrably checking beacons on every seed.
+  const int seeds = EnvInt("DELOS_DIGEST_SCHEDULES", 20, 4);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SimOptions options = DigestOptions("clean_sweep");
+    const RunReport report = SimCluster::RunSeed(static_cast<uint64_t>(seed), options);
+    if (!report.ok() || report.divergence_convicted || report.divergence_mismatches != 0) {
+      DumpArtifacts(report, "clean_sweep");
+    }
+    ASSERT_TRUE(report.ok()) << "seed " << seed << "\n" << report.Summary();
+    EXPECT_FALSE(report.divergence_convicted)
+        << "seed " << seed << "\n" << report.divergence_summary;
+    EXPECT_EQ(report.divergence_mismatches, 0u)
+        << "seed " << seed << "\n" << report.divergence_summary;
+    // The detector actually ran: every server checked beacons.
+    for (const char* server : {"server s0:", "server s1:", "server s2:"}) {
+      EXPECT_NE(report.divergence_summary.find(server), std::string::npos)
+          << "seed " << seed << "\n" << report.divergence_summary;
+    }
+    EXPECT_EQ(report.divergence_summary.find("beacons_checked=0"), std::string::npos)
+        << "seed " << seed << "\n" << report.divergence_summary;
+  }
+}
+
+TEST(SimDigestTest, BeaconsOffKeepsLegacySchedulesUntouched) {
+  // digest_beacon_every = 0 (the default) must leave the run byte-identical
+  // to a pre-digest-plane run: no beacon records, no divergence report.
+  SimOptions options = DigestOptions("beacons_off");
+  options.digest_beacon_every = 0;
+  const RunReport report = SimCluster::RunSeed(5, options);
+  ASSERT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.divergence_summary.empty());
+  EXPECT_FALSE(report.divergence_convicted);
+}
+
+}  // namespace
+}  // namespace delos
